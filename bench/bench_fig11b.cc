@@ -1,0 +1,64 @@
+// Figure 11(b): storage requirements of the Markov chain index for various
+// alpha, on streams of varying length, reported next to the raw stream's
+// own CPT bytes.
+//
+// Paper shape to reproduce: storage grows linearly with stream length;
+// alpha=2 roughly doubles the stream's CPT storage, and larger alpha
+// decreases it steeply.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "index/mc_index.h"
+#include "rfid/workload.h"
+
+using namespace caldera;         // NOLINT
+using namespace caldera::bench;  // NOLINT
+
+int main() {
+  std::string root = ScratchDir("fig11b");
+  std::printf("# Figure 11(b): MC index storage (KiB of CPT payload) vs "
+              "stream length and alpha\n");
+  std::printf("%-12s %12s %12s %12s %12s %12s %14s\n", "timesteps",
+              "raw-cpts", "alpha=2", "alpha=4", "alpha=8", "alpha=16",
+              "a2/raw-ratio");
+
+  int variant = 0;
+  for (uint32_t snippets : {36u, 73u, 146u, 292u, 584u, 1100u}) {
+    SnippetStreamSpec spec;
+    spec.num_snippets = snippets;
+    spec.seed = 111;
+    auto workload = MakeSnippetStream(spec);
+    CALDERA_CHECK_OK(workload.status());
+    const MarkovianStream& stream = workload->stream;
+
+    CALDERA_CHECK_OK(WriteStream(root + "/s" + std::to_string(variant),
+                                 stream));
+    auto stored =
+        StoredStream::Open(root + "/s" + std::to_string(variant));
+    CALDERA_CHECK_OK(stored.status());
+    StoredStream* raw = stored->get();
+    TransitionSource source = [raw](uint64_t t, Cpt* out) {
+      return raw->ReadTransition(t, out);
+    };
+
+    double kib[4];
+    int i = 0;
+    for (uint32_t alpha : {2u, 4u, 8u, 16u}) {
+      std::string dir = root + "/mc" + std::to_string(variant) + "_a" +
+                        std::to_string(alpha);
+      CALDERA_CHECK_OK(McIndex::Build(stream, dir, {.alpha = alpha}));
+      auto index = McIndex::Open(dir, source);
+      CALDERA_CHECK_OK(index.status());
+      kib[i++] = (*index)->StoredBytes() / 1024.0;
+    }
+    double raw_kib = stream.CptBytes() / 1024.0;
+    std::printf("%-12llu %12.0f %12.0f %12.0f %12.0f %12.0f %13.2fx\n",
+                static_cast<unsigned long long>(stream.length()), raw_kib,
+                kib[0], kib[1], kib[2], kib[3], kib[0] / raw_kib);
+    ++variant;
+  }
+  std::printf("# expected shape: linear growth in length; alpha=2 index "
+              "~1-2x the raw CPT bytes; storage falls steeply with alpha\n");
+  return 0;
+}

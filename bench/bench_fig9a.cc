@@ -1,0 +1,99 @@
+// Figure 9(a): the variable-length access methods (MC index, exact; semi-
+// independent, approximate) vs the naive scan on synthetic ~30k-timestep
+// streams, as data density varies. Directly comparable with Figure 8(a).
+//
+// Paper shape to reproduce: both methods scale inversely with density like
+// the B+Tree method; semi-independent is consistently faster than the MC
+// index (the paper reports roughly 8x).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "caldera/mc_method.h"
+#include "caldera/scan_method.h"
+#include "caldera/semi_independent_method.h"
+#include "markov/synthetic.h"
+#include "rfid/workload.h"
+
+using namespace caldera;         // NOLINT
+using namespace caldera::bench;  // NOLINT
+
+int main() {
+  std::string root = ScratchDir("fig9a");
+  std::printf("# Figure 9(a): variable-length methods vs scan on synthetic "
+              "streams (times in ms; MC index alpha=2)\n");
+  std::printf("%-10s %12s %12s %12s %12s %14s\n", "density", "scan",
+              "mc-index", "semi-indep", "mc-speedup", "semi-vs-mc");
+
+  for (double density : {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    SnippetStreamSpec spec;
+    spec.num_snippets = 1000;
+    spec.density = density;
+    spec.match_rate = 1.0;
+    spec.seed = 90;
+    auto workload = MakeSnippetStream(spec);
+    CALDERA_CHECK_OK(workload.status());
+    auto archived = ArchiveStream(
+        root, "d" + std::to_string(static_cast<int>(density * 100)),
+        workload->stream, DiskLayout::kSeparated, true, false, true);
+    RegularQuery query = workload->EnteredRoomVariable();
+
+    double scan = TimeBest([&] {
+      CALDERA_CHECK_OK(RunScanMethod(archived.get(), query).status());
+    });
+    double mc = TimeBest([&] {
+      CALDERA_CHECK_OK(RunMcMethod(archived.get(), query).status());
+    });
+    double semi = TimeBest([&] {
+      CALDERA_CHECK_OK(
+          RunSemiIndependentMethod(archived.get(), query).status());
+    });
+    std::printf("%-10.2f %12.2f %12.2f %12.2f %11.1fx %13.1fx\n", density,
+                scan * 1e3, mc * 1e3, semi * 1e3, scan / mc, mc / semi);
+  }
+  std::printf("# expected shape: mc-speedup mirrors Figure 8(a); semi-indep "
+              "consistently faster than mc-index\n");
+
+  // The paper reports semi-independent ~8x faster than the MC index. The
+  // gap scales with the width of the composed CPTs the MC method must
+  // fetch and multiply (~|support|^2) while the semi method reads one
+  // marginal. Random-walk streams (wide long-span CPTs) show the gap
+  // widening with the state-space size; the snippet streams above, whose
+  // long-span CPTs collapse to near-rank-1 at snippet boundaries, hide it.
+  std::printf("\n# semi-vs-mc gap vs state-space size "
+              "(banded random-walk streams, sparse query)\n");
+  std::printf("%-12s %12s %12s %14s\n", "states", "mc-index", "semi",
+              "semi-speedup");
+  for (uint32_t domain : {32u, 128u, 384u}) {
+    // Aggressive truncation (like a modest particle count) keeps supports
+    // tight so the query below is sparse; the 384-state row matches the
+    // paper's 352-location deployment.
+    MarkovianStream stream =
+        MakeBandedRandomWalkStream(12000, domain, 91, /*truncate_eps=*/0.02);
+    uint32_t start = stream.marginal(0).entries()[0].value;
+    uint32_t target_value = std::min(domain - 2, start + 30);
+    uint32_t hall_value = target_value >= 3 ? target_value - 3
+                                            : target_value + 3;
+    auto archived = ArchiveStream(root, "w" + std::to_string(domain), stream,
+                                  DiskLayout::kSeparated, true, false, true);
+    Predicate target = Predicate::Equality(0, target_value, "target");
+    std::vector<QueryLink> links;
+    links.push_back(
+        QueryLink{std::nullopt, Predicate::Equality(0, hall_value, "hall")});
+    links.push_back(QueryLink{Predicate::Not(target), target});
+    RegularQuery query("edge", links);
+    double mc = TimeBest([&] {
+      CALDERA_CHECK_OK(RunMcMethod(archived.get(), query).status());
+    });
+    double semi = TimeBest([&] {
+      CALDERA_CHECK_OK(
+          RunSemiIndependentMethod(archived.get(), query).status());
+    });
+    std::printf("%-12u %12.2f %12.2f %13.1fx\n", domain, mc * 1e3,
+                semi * 1e3, mc / semi);
+  }
+  std::printf("# expected: the speedup grows with the state space, toward "
+              "the paper's ~8x on its 352-location domain\n");
+  return 0;
+}

@@ -1,0 +1,229 @@
+// Micro-benchmarks (google-benchmark) for Caldera's hot inner loops:
+// sparse distribution propagation, CPT composition, B+ tree operations,
+// record-file reads, and single Reg-operator updates.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "btree/btree.h"
+#include "common/encoding.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "hmm/smoother.h"
+#include "index/btc_index.h"
+#include "markov/stream_io.h"
+#include "reg/reg_operator.h"
+#include "rfid/simulator.h"
+#include "rfid/workload.h"
+#include "storage/record_file.h"
+
+namespace caldera {
+namespace {
+
+std::string MicroDir() {
+  std::string dir = "/tmp/caldera_bench/micro";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Cpt RandomCpt(uint32_t domain, double row_density, uint64_t seed) {
+  Rng rng(seed);
+  Cpt cpt;
+  for (uint32_t src = 0; src < domain; ++src) {
+    std::vector<Cpt::RowEntry> row;
+    double sum = 0;
+    for (uint32_t dst = 0; dst < domain; ++dst) {
+      if (rng.NextBool(row_density)) {
+        double v = rng.NextDouble() + 0.01;
+        row.push_back({dst, v});
+        sum += v;
+      }
+    }
+    if (row.empty()) {
+      row.push_back({src, 1.0});
+      sum = 1.0;
+    }
+    for (auto& e : row) e.prob /= sum;
+    cpt.SetRow(src, std::move(row));
+  }
+  return cpt;
+}
+
+Distribution RandomDistribution(uint32_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Distribution::Entry> entries;
+  for (uint32_t v = 0; v < domain; ++v) {
+    entries.push_back({v, rng.NextDouble() + 0.01});
+  }
+  Distribution d = Distribution::FromPairs(std::move(entries));
+  d.Normalize();
+  return d;
+}
+
+void BM_CptPropagate(benchmark::State& state) {
+  uint32_t domain = static_cast<uint32_t>(state.range(0));
+  Cpt cpt = RandomCpt(domain, 0.1, 1);
+  Distribution in = RandomDistribution(domain, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpt.Propagate(in));
+  }
+  state.SetItemsProcessed(state.iterations() * cpt.nnz());
+}
+BENCHMARK(BM_CptPropagate)->Arg(32)->Arg(128)->Arg(352);
+
+void BM_ComposeCpts(benchmark::State& state) {
+  uint32_t domain = static_cast<uint32_t>(state.range(0));
+  Cpt a = RandomCpt(domain, 0.1, 3);
+  Cpt b = RandomCpt(domain, 0.1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComposeCpts(a, b, domain));
+  }
+}
+BENCHMARK(BM_ComposeCpts)->Arg(32)->Arg(128)->Arg(352);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  std::string path = MicroDir() + "/insert.bt";
+  Rng rng(5);
+  std::unique_ptr<BTree> tree;
+  uint64_t next_key = 0;
+  for (auto _ : state) {
+    if (next_key == 0) {
+      state.PauseTiming();
+      auto created = BTree::Create(path, {12, 8}, 4096, 256);
+      CALDERA_CHECK_OK(created.status());
+      tree = std::move(*created);
+      state.ResumeTiming();
+    }
+    std::string key = EncodeBtcKey(static_cast<uint32_t>(rng.NextBelow(64)),
+                                   next_key++);
+    std::string value;
+    PutDouble(0.5, &value);
+    CALDERA_CHECK_OK(tree->Insert(key, value));
+    if (next_key >= 100000) next_key = 0;
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreePointLookup(benchmark::State& state) {
+  std::string path = MicroDir() + "/lookup.bt";
+  auto builder = BTreeBuilder::Create(path, {12, 8}, 4096);
+  CALDERA_CHECK_OK(builder.status());
+  const uint64_t kEntries = 200000;
+  std::string value;
+  PutDouble(0.5, &value);
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    // Keys must be added in sorted order: value runs of 3125 timesteps.
+    CALDERA_CHECK_OK((*builder)->Add(
+        EncodeBtcKey(static_cast<uint32_t>(i / 3125), i), value));
+  }
+  auto tree = (*builder)->Finish(1024);
+  CALDERA_CHECK_OK(tree.status());
+  Rng rng(6);
+  for (auto _ : state) {
+    uint64_t i = rng.NextBelow(kEntries);
+    auto got = (*tree)->Get(EncodeBtcKey(static_cast<uint32_t>(i / 3125), i));
+    benchmark::DoNotOptimize(got);
+  }
+}
+BENCHMARK(BM_BTreePointLookup);
+
+void BM_BTreeCursorScan(benchmark::State& state) {
+  std::string path = MicroDir() + "/scan.bt";
+  auto builder = BTreeBuilder::Create(path, {12, 8}, 4096);
+  CALDERA_CHECK_OK(builder.status());
+  std::string value;
+  PutDouble(0.5, &value);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    CALDERA_CHECK_OK((*builder)->Add(EncodeBtcKey(7, i), value));
+  }
+  auto tree = (*builder)->Finish(1024);
+  CALDERA_CHECK_OK(tree.status());
+  for (auto _ : state) {
+    auto cursor = (*tree)->SeekFirst();
+    CALDERA_CHECK_OK(cursor.status());
+    uint64_t count = 0;
+    while (cursor->valid()) {
+      ++count;
+      CALDERA_CHECK_OK(cursor->Next());
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BTreeCursorScan);
+
+void BM_RecordFileRandomRead(benchmark::State& state) {
+  std::string path = MicroDir() + "/records.rec";
+  {
+    auto writer = RecordFileWriter::Create(path);
+    CALDERA_CHECK_OK(writer.status());
+    for (int i = 0; i < 30000; ++i) {
+      CALDERA_CHECK_OK((*writer)->Append(std::string(200, 'r')).status());
+    }
+    CALDERA_CHECK_OK((*writer)->Finalize());
+  }
+  auto reader = RecordFileReader::Open(path, 64);
+  CALDERA_CHECK_OK(reader.status());
+  Rng rng(7);
+  std::string out;
+  for (auto _ : state) {
+    CALDERA_CHECK_OK((*reader)->Get(rng.NextBelow(30000), &out));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RecordFileRandomRead);
+
+void BM_RegUpdate(benchmark::State& state) {
+  // One Reg update on a paper-scale domain with a query of N links.
+  size_t links = static_cast<size_t>(state.range(0));
+  uint32_t domain = 352;
+  std::vector<std::string> labels;
+  for (uint32_t i = 0; i < domain; ++i) {
+    labels.push_back("L" + std::to_string(i));
+  }
+  StreamSchema schema = SingleAttributeSchema("loc", labels);
+  std::vector<Predicate> predicates;
+  for (size_t i = 0; i < links; ++i) {
+    predicates.push_back(Predicate::Equality(
+        0, static_cast<uint32_t>(i + 1), "L" + std::to_string(i + 1)));
+  }
+  RegularQuery query = RegularQuery::Sequence("bench", predicates);
+  Cpt cpt = RandomCpt(domain, 0.02, 8);
+  Distribution marginal = RandomDistribution(domain, 9);
+  RegOperator reg(query, schema);
+  reg.Initialize(marginal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.Update(cpt));
+  }
+}
+BENCHMARK(BM_RegUpdate)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SmoothSnippet(benchmark::State& state) {
+  // Forward-backward smoothing of one ~30s snippet in a 20-location
+  // corridor.
+  BuildingLayout layout = BuildingLayout::MakeCorridor({.segments = 10});
+  Hmm hmm = layout.MakeHmm({});
+  auto h0 = layout.LocationByName("H0");
+  CALDERA_CHECK_OK(h0.status());
+  hmm.SetInitial(Distribution::Point(*h0));
+  PersonSimulator sim(&layout, 10);
+  auto room = layout.LocationByName("Room5_0");
+  CALDERA_CHECK_OK(room.status());
+  auto truth = sim.SimulateRoutine(*h0, {{*room, 15}, {*h0, 0}});
+  CALDERA_CHECK_OK(truth.status());
+  auto obs = sim.Observe(*truth, hmm);
+  CALDERA_CHECK_OK(obs.status());
+  StreamSchema schema = layout.MakeSchema();
+  for (auto _ : state) {
+    auto stream = SmoothToMarkovianStream(hmm, *obs, schema, {});
+    CALDERA_CHECK_OK(stream.status());
+    benchmark::DoNotOptimize(stream);
+  }
+}
+BENCHMARK(BM_SmoothSnippet);
+
+}  // namespace
+}  // namespace caldera
+
+BENCHMARK_MAIN();

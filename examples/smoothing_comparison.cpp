@@ -1,0 +1,122 @@
+// Compares the two smoothing substrates on the same noisy RFID trace
+// (Section 2.1 of the paper describes the sample-based style; we also
+// provide exact forward-backward):
+//   * exact forward-backward smoothing with support truncation,
+//   * sample-based (particle) smoothing,
+//   * Viterbi decoding (one hard trajectory, no uncertainty),
+// and shows how each affects a downstream Entered-Room event query.
+//
+//   ./smoothing_comparison
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "hmm/particle_smoother.h"
+#include "hmm/smoother.h"
+#include "hmm/viterbi.h"
+#include "reg/reg_operator.h"
+#include "rfid/layout.h"
+#include "rfid/simulator.h"
+
+using namespace caldera;  // NOLINT: example brevity.
+
+int main() {
+  // A small corridor deployment and a scripted walk into Room5.
+  BuildingLayout layout = BuildingLayout::MakeCorridor(
+      {.segments = 10, .rooms_per_segment = 1, .detect_prob = 0.8});
+  StreamSchema schema = layout.MakeSchema();
+  Hmm hmm = layout.MakeHmm({});
+  auto h0 = layout.LocationByName("H0");
+  auto h5 = layout.LocationByName("H5");
+  auto room = layout.LocationByName("Room5_0");
+  CALDERA_CHECK_OK(h0.status());
+  CALDERA_CHECK_OK(h5.status());
+  CALDERA_CHECK_OK(room.status());
+  hmm.SetInitial(Distribution::Point(*h0));
+
+  PersonSimulator simulator(&layout, /*seed=*/20260705);
+  auto truth = simulator.SimulateRoutine(*h0, {{*room, 15}, {*h0, 0}});
+  CALDERA_CHECK_OK(truth.status());
+  auto obs = simulator.Observe(*truth, hmm);
+  CALDERA_CHECK_OK(obs.status());
+  std::printf("trace: %zu timesteps; antenna reads: ", truth->size());
+  int reads = 0;
+  for (uint32_t o : *obs) reads += o != 0 ? 1 : 0;
+  std::printf("%d (%.0f%% silence)\n", reads,
+              100.0 * (obs->size() - reads) / obs->size());
+
+  // The event query: walked down H5 into Room5.
+  RegularQuery query = RegularQuery::Sequence(
+      "EnteredRoom5", {Predicate::Equality(0, *h5, "H5"),
+                       Predicate::Equality(0, *room, "Room5_0")});
+
+  // Ground truth: the timestep the person actually entered.
+  uint64_t entry_t = 0;
+  for (size_t t = 1; t < truth->size(); ++t) {
+    if ((*truth)[t] == *room && (*truth)[t - 1] == *h5) {
+      entry_t = t;
+      break;
+    }
+  }
+  std::printf("ground truth: entered Room5 at t=%llu\n\n",
+              static_cast<unsigned long long>(entry_t));
+
+  auto report = [&](const char* name, const MarkovianStream& stream) {
+    std::vector<double> signal = RunRegOverStream(query, stream);
+    size_t peak = 0;
+    for (size_t t = 1; t < signal.size(); ++t) {
+      if (signal[t] > signal[peak]) peak = t;
+    }
+    uint64_t support = 0;
+    for (uint64_t t = 0; t < stream.length(); ++t) {
+      support += stream.marginal(t).support_size();
+    }
+    std::printf("%-24s peak p=%.3f at t=%-4zu (truth %llu)  "
+                "avg support %.1f states/timestep\n",
+                name, signal[peak], peak,
+                static_cast<unsigned long long>(entry_t),
+                static_cast<double>(support) / stream.length());
+  };
+
+  auto exact = SmoothToMarkovianStream(hmm, *obs, schema,
+                                       {.truncate_eps = 1e-3});
+  CALDERA_CHECK_OK(exact.status());
+  report("forward-backward", *exact);
+
+  auto particle = ParticleSmoothToMarkovianStream(
+      hmm, *obs, schema,
+      {.num_particles = 2048, .num_trajectories = 1024, .seed = 7});
+  CALDERA_CHECK_OK(particle.status());
+  report("particle (2048/1024)", *particle);
+
+  auto sparse_particle = ParticleSmoothToMarkovianStream(
+      hmm, *obs, schema,
+      {.num_particles = 128, .num_trajectories = 64, .seed = 7});
+  CALDERA_CHECK_OK(sparse_particle.status());
+  report("particle (128/64)", *sparse_particle);
+
+  // Viterbi: a single deterministic trajectory -- the "cleaned stream"
+  // baseline the paper's related work contrasts against. Its event answer
+  // is binary.
+  auto decoded = ViterbiDecode(hmm, *obs);
+  CALDERA_CHECK_OK(decoded.status());
+  bool viterbi_match = false;
+  uint64_t viterbi_t = 0;
+  for (size_t t = 1; t < decoded->states.size(); ++t) {
+    if (decoded->states[t] == *room && decoded->states[t - 1] == *h5) {
+      viterbi_match = true;
+      viterbi_t = t;
+      break;
+    }
+  }
+  std::printf("%-24s %s%llu\n", "viterbi (hard path)",
+              viterbi_match ? "event at t=" : "event MISSED; t=",
+              static_cast<unsigned long long>(viterbi_t));
+  std::printf(
+      "\n(probabilistic smoothing preserves the uncertainty the event query "
+      "needs;\n more particles -> wider supports and smoother signals; a "
+      "hard trajectory\n either finds the event or silently drops it)\n");
+  return 0;
+}

@@ -1,0 +1,730 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/encoding.h"
+#include "common/logging.h"
+
+namespace caldera {
+
+namespace {
+
+constexpr char kBTreeMagic[8] = {'C', 'L', 'D', 'R', 'B', 'T', 'R', '1'};
+constexpr PageId kMetaPage = 1;
+
+constexpr uint8_t kLeafNode = 1;
+constexpr uint8_t kInternalNode = 2;
+constexpr uint32_t kNodeHeaderSize = 16;
+
+uint8_t NodeType(const char* page) {
+  return static_cast<uint8_t>(page[0]);
+}
+void SetNodeType(char* page, uint8_t type) {
+  page[0] = static_cast<char>(type);
+}
+uint16_t NodeCount(const char* page) {
+  uint16_t v;
+  std::memcpy(&v, page + 1, 2);
+  return v;
+}
+void SetNodeCount(char* page, uint16_t count) {
+  std::memcpy(page + 1, &count, 2);
+}
+PageId LeafNext(const char* page) { return GetFixed64(page + 4); }
+void SetLeafNext(char* page, PageId next) {
+  char buf[8];
+  std::memcpy(buf, &next, 8);
+  std::memcpy(page + 4, buf, 8);
+}
+PageId InternalChild0(const char* page) { return GetFixed64(page + 8); }
+void SetInternalChild0(char* page, PageId child) {
+  std::memcpy(page + 8, &child, 8);
+}
+
+}  // namespace
+
+uint32_t BTree::leaf_capacity() const {
+  return (pager_->page_size() - kNodeHeaderSize) / leaf_entry_size();
+}
+
+uint32_t BTree::internal_capacity() const {
+  return (pager_->page_size() - kNodeHeaderSize) / internal_entry_size();
+}
+
+// Rejects on-disk node headers whose entry count exceeds what the page can
+// physically hold (defense against corrupted pages).
+static Status ValidateNodeCount(uint16_t count, uint32_t capacity,
+                                PageId id) {
+  if (count > capacity) {
+    return Status::Corruption("node " + std::to_string(id) + " claims " +
+                              std::to_string(count) + " entries, capacity " +
+                              std::to_string(capacity));
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<BTree>> BTree::Create(const std::string& path,
+                                             const BTreeOptions& options,
+                                             uint32_t page_size,
+                                             size_t pool_pages) {
+  if (options.key_size == 0 || options.key_size > 256) {
+    return Status::InvalidArgument("key_size must be in [1, 256]");
+  }
+  if (options.value_size > 1024) {
+    return Status::InvalidArgument("value_size must be <= 1024");
+  }
+  uint32_t entry = options.key_size + options.value_size;
+  if (entry * 4 > page_size - kNodeHeaderSize) {
+    return Status::InvalidArgument("page too small for 4 entries per node");
+  }
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                           Pager::Create(path, page_size));
+  CALDERA_ASSIGN_OR_RETURN(PageId meta, pager->AllocatePage());
+  if (meta != kMetaPage) return Status::Internal("unexpected meta page id");
+
+  auto tree = std::unique_ptr<BTree>(new BTree(std::move(pager), pool_pages));
+  tree->options_ = options;
+  // Root starts as an empty leaf.
+  CALDERA_ASSIGN_OR_RETURN(PageHandle root, tree->pool_->NewPage());
+  SetNodeType(root.data(), kLeafNode);
+  SetNodeCount(root.data(), 0);
+  SetLeafNext(root.data(), kInvalidPageId);
+  root.MarkDirty();
+  tree->root_ = root.page_id();
+  tree->height_ = 1;
+  root.Release();
+  CALDERA_RETURN_IF_ERROR(tree->Flush());
+  return tree;
+}
+
+Result<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
+                                           size_t pool_pages) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::Open(path));
+  auto tree = std::unique_ptr<BTree>(new BTree(std::move(pager), pool_pages));
+  std::vector<char> meta(tree->pager_->page_size());
+  CALDERA_RETURN_IF_ERROR(tree->pager_->ReadPage(kMetaPage, meta.data()));
+  if (std::memcmp(meta.data(), kBTreeMagic, 8) != 0) {
+    return Status::Corruption("bad btree magic in " + path);
+  }
+  tree->options_.key_size = GetFixed32(meta.data() + 8);
+  tree->options_.value_size = GetFixed32(meta.data() + 12);
+  tree->root_ = GetFixed64(meta.data() + 16);
+  tree->num_entries_ = GetFixed64(meta.data() + 24);
+  tree->height_ = GetFixed32(meta.data() + 32);
+  if (tree->root_ == kInvalidPageId ||
+      tree->root_ >= tree->pager_->page_count()) {
+    return Status::Corruption("bad btree root in " + path);
+  }
+  return tree;
+}
+
+BTree::~BTree() {
+  Status st = Flush();
+  if (!st.ok()) {
+    CALDERA_LOG_ERROR << "BTree flush on destruction failed: "
+                      << st.ToString();
+  }
+}
+
+Status BTree::WriteMeta() {
+  std::string meta(kBTreeMagic, 8);
+  PutFixed32(options_.key_size, &meta);
+  PutFixed32(options_.value_size, &meta);
+  PutFixed64(root_, &meta);
+  PutFixed64(num_entries_, &meta);
+  PutFixed32(height_, &meta);
+  meta.resize(pager_->page_size(), '\0');
+  return pager_->WritePage(kMetaPage, meta.data());
+}
+
+Status BTree::Flush() {
+  CALDERA_RETURN_IF_ERROR(WriteMeta());
+  return pool_->FlushAll();
+}
+
+// Descends from the root to the leaf that should contain `key`. If
+// `path_out` is non-null it receives the internal pages visited, root first.
+Result<PageId> BTree::FindLeaf(std::string_view key,
+                               std::vector<PageId>* path_out) {
+  const uint32_t ks = options_.key_size;
+  PageId current = root_;
+  for (;;) {
+    CALDERA_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    const char* data = page.data();
+    if (NodeType(data) == kLeafNode) return current;
+    if (NodeType(data) != kInternalNode) {
+      return Status::Corruption("bad node type on page " +
+                                std::to_string(current));
+    }
+    if (path_out != nullptr) path_out->push_back(current);
+    uint16_t count = NodeCount(data);
+    CALDERA_RETURN_IF_ERROR(
+        ValidateNodeCount(count, internal_capacity(), current));
+    // Find the largest separator <= key; its child covers the key.
+    // Separator i lives at kNodeHeaderSize + i*(ks+8).
+    uint32_t lo = 0, hi = count;  // First separator strictly > key.
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      const char* sep = data + kNodeHeaderSize + mid * (ks + 8);
+      if (std::memcmp(sep, key.data(), ks) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) {
+      current = InternalChild0(data);
+    } else {
+      const char* entry = data + kNodeHeaderSize + (lo - 1) * (ks + 8);
+      current = GetFixed64(entry + ks);
+    }
+    if (current == kInvalidPageId) {
+      return Status::Corruption("invalid child pointer");
+    }
+  }
+}
+
+Result<std::optional<std::string>> BTree::Get(std::string_view key) {
+  if (key.size() != options_.key_size) {
+    return Status::InvalidArgument("key size mismatch");
+  }
+  CALDERA_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  CALDERA_ASSIGN_OR_RETURN(PageHandle leaf, pool_->Fetch(leaf_id));
+  const char* data = leaf.data();
+  const uint32_t ks = options_.key_size;
+  const uint32_t es = leaf_entry_size();
+  uint16_t count = NodeCount(data);
+  CALDERA_RETURN_IF_ERROR(ValidateNodeCount(count, leaf_capacity(), leaf_id));
+  uint32_t lo = 0, hi = count;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    const char* entry = data + kNodeHeaderSize + mid * es;
+    if (std::memcmp(entry, key.data(), ks) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < count) {
+    const char* entry = data + kNodeHeaderSize + lo * es;
+    if (std::memcmp(entry, key.data(), ks) == 0) {
+      return std::optional<std::string>(
+          std::string(entry + ks, options_.value_size));
+    }
+  }
+  return std::optional<std::string>();
+}
+
+Status BTree::InsertIntoParent(std::vector<PageId>& path, size_t level,
+                               std::string_view sep_key, PageId right_child) {
+  const uint32_t ks = options_.key_size;
+  const uint32_t es = internal_entry_size();
+
+  if (level == 0) {
+    // Split reached the root: grow the tree by one level.
+    CALDERA_ASSIGN_OR_RETURN(PageHandle new_root, pool_->NewPage());
+    char* data = new_root.data();
+    SetNodeType(data, kInternalNode);
+    SetNodeCount(data, 1);
+    SetInternalChild0(data, root_);
+    char* entry = data + kNodeHeaderSize;
+    std::memcpy(entry, sep_key.data(), ks);
+    std::memcpy(entry + ks, &right_child, 8);
+    new_root.MarkDirty();
+    root_ = new_root.page_id();
+    ++height_;
+    return Status::Ok();
+  }
+
+  PageId parent_id = path[level - 1];
+  CALDERA_ASSIGN_OR_RETURN(PageHandle parent, pool_->Fetch(parent_id));
+  char* data = parent.data();
+  uint16_t count = NodeCount(data);
+
+  // Find insert position for the separator (first separator > sep_key).
+  uint32_t pos = 0;
+  while (pos < count &&
+         std::memcmp(data + kNodeHeaderSize + pos * es, sep_key.data(), ks) <
+             0) {
+    ++pos;
+  }
+
+  if (count < internal_capacity()) {
+    char* base = data + kNodeHeaderSize;
+    std::memmove(base + (pos + 1) * es, base + pos * es,
+                 (count - pos) * static_cast<size_t>(es));
+    std::memcpy(base + pos * es, sep_key.data(), ks);
+    std::memcpy(base + pos * es + ks, &right_child, 8);
+    SetNodeCount(data, count + 1);
+    parent.MarkDirty();
+    return Status::Ok();
+  }
+
+  // Parent is full: materialize the separator list, insert, split.
+  struct Sep {
+    std::string key;
+    PageId child;
+  };
+  std::vector<Sep> seps;
+  seps.reserve(count + 1);
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* e = data + kNodeHeaderSize + i * es;
+    seps.push_back({std::string(e, ks), GetFixed64(e + ks)});
+  }
+  seps.insert(seps.begin() + pos,
+              {std::string(sep_key.data(), ks), right_child});
+  PageId child0 = InternalChild0(data);
+
+  uint32_t mid = static_cast<uint32_t>(seps.size()) / 2;
+  // seps[mid] is promoted; left keeps [0, mid), right gets (mid, end) with
+  // child0 = seps[mid].child.
+  CALDERA_ASSIGN_OR_RETURN(PageHandle right, pool_->NewPage());
+  char* rdata = right.data();
+  SetNodeType(rdata, kInternalNode);
+  SetInternalChild0(rdata, seps[mid].child);
+  uint16_t rcount = 0;
+  for (uint32_t i = mid + 1; i < seps.size(); ++i) {
+    char* e = rdata + kNodeHeaderSize + rcount * es;
+    std::memcpy(e, seps[i].key.data(), ks);
+    std::memcpy(e + ks, &seps[i].child, 8);
+    ++rcount;
+  }
+  SetNodeCount(rdata, rcount);
+  right.MarkDirty();
+
+  SetNodeType(data, kInternalNode);
+  SetInternalChild0(data, child0);
+  for (uint32_t i = 0; i < mid; ++i) {
+    char* e = data + kNodeHeaderSize + i * es;
+    std::memcpy(e, seps[i].key.data(), ks);
+    std::memcpy(e + ks, &seps[i].child, 8);
+  }
+  SetNodeCount(data, static_cast<uint16_t>(mid));
+  parent.MarkDirty();
+
+  std::string promoted = seps[mid].key;
+  PageId right_id = right.page_id();
+  parent.Release();
+  right.Release();
+  return InsertIntoParent(path, level - 1, promoted, right_id);
+}
+
+Status BTree::Insert(std::string_view key, std::string_view value) {
+  if (key.size() != options_.key_size) {
+    return Status::InvalidArgument("key size mismatch");
+  }
+  if (value.size() != options_.value_size) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  std::vector<PageId> path;
+  CALDERA_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  CALDERA_ASSIGN_OR_RETURN(PageHandle leaf, pool_->Fetch(leaf_id));
+  char* data = leaf.data();
+  const uint32_t ks = options_.key_size;
+  const uint32_t es = leaf_entry_size();
+  uint16_t count = NodeCount(data);
+  CALDERA_RETURN_IF_ERROR(ValidateNodeCount(count, leaf_capacity(), leaf_id));
+
+  uint32_t pos = 0, hi = count;
+  while (pos < hi) {
+    uint32_t mid = (pos + hi) / 2;
+    if (std::memcmp(data + kNodeHeaderSize + mid * es, key.data(), ks) < 0) {
+      pos = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (pos < count &&
+      std::memcmp(data + kNodeHeaderSize + pos * es, key.data(), ks) == 0) {
+    return Status::AlreadyExists("duplicate key");
+  }
+
+  if (count < leaf_capacity()) {
+    char* base = data + kNodeHeaderSize;
+    std::memmove(base + (pos + 1) * es, base + pos * es,
+                 (count - pos) * static_cast<size_t>(es));
+    std::memcpy(base + pos * es, key.data(), ks);
+    std::memcpy(base + pos * es + ks, value.data(), options_.value_size);
+    SetNodeCount(data, count + 1);
+    leaf.MarkDirty();
+    ++num_entries_;
+    return Status::Ok();
+  }
+
+  // Leaf is full: split. Materialize entries, insert, redistribute.
+  std::vector<std::string> entries;
+  entries.reserve(count + 1);
+  for (uint32_t i = 0; i < count; ++i) {
+    entries.emplace_back(data + kNodeHeaderSize + i * es, es);
+  }
+  std::string new_entry(key.data(), ks);
+  new_entry.append(value.data(), options_.value_size);
+  entries.insert(entries.begin() + pos, std::move(new_entry));
+
+  uint32_t mid = static_cast<uint32_t>(entries.size()) / 2;
+  CALDERA_ASSIGN_OR_RETURN(PageHandle right, pool_->NewPage());
+  char* rdata = right.data();
+  SetNodeType(rdata, kLeafNode);
+  SetLeafNext(rdata, LeafNext(data));
+  uint16_t rcount = 0;
+  for (uint32_t i = mid; i < entries.size(); ++i) {
+    std::memcpy(rdata + kNodeHeaderSize + rcount * es, entries[i].data(), es);
+    ++rcount;
+  }
+  SetNodeCount(rdata, rcount);
+  right.MarkDirty();
+
+  for (uint32_t i = 0; i < mid; ++i) {
+    std::memcpy(data + kNodeHeaderSize + i * es, entries[i].data(), es);
+  }
+  SetNodeCount(data, static_cast<uint16_t>(mid));
+  SetLeafNext(data, right.page_id());
+  leaf.MarkDirty();
+
+  std::string sep = entries[mid].substr(0, ks);
+  PageId right_id = right.page_id();
+  leaf.Release();
+  right.Release();
+  ++num_entries_;
+  return InsertIntoParent(path, path.size(), sep, right_id);
+}
+
+Status BTree::Delete(std::string_view key) {
+  if (key.size() != options_.key_size) {
+    return Status::InvalidArgument("key size mismatch");
+  }
+  CALDERA_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  CALDERA_ASSIGN_OR_RETURN(PageHandle leaf, pool_->Fetch(leaf_id));
+  char* data = leaf.data();
+  const uint32_t ks = options_.key_size;
+  const uint32_t es = leaf_entry_size();
+  uint16_t count = NodeCount(data);
+  CALDERA_RETURN_IF_ERROR(ValidateNodeCount(count, leaf_capacity(), leaf_id));
+  for (uint32_t i = 0; i < count; ++i) {
+    char* entry = data + kNodeHeaderSize + i * es;
+    if (std::memcmp(entry, key.data(), ks) == 0) {
+      std::memmove(entry, entry + es, (count - i - 1) * static_cast<size_t>(es));
+      SetNodeCount(data, count - 1);
+      leaf.MarkDirty();
+      --num_entries_;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("key not in tree");
+}
+
+std::string_view BTree::Cursor::key() const {
+  CALDERA_DCHECK(valid());
+  return std::string_view(entry_.data(), tree_->options_.key_size);
+}
+
+std::string_view BTree::Cursor::value() const {
+  CALDERA_DCHECK(valid());
+  return std::string_view(entry_.data() + tree_->options_.key_size,
+                          tree_->options_.value_size);
+}
+
+// Loads the entry at (leaf_, slot_), skipping forward across empty or
+// exhausted leaves. Invalidates the cursor at the end of the tree.
+Status BTree::Cursor::Load() {
+  const uint32_t es = tree_->leaf_entry_size();
+  while (leaf_ != kInvalidPageId) {
+    CALDERA_ASSIGN_OR_RETURN(PageHandle page, tree_->pool_->Fetch(leaf_));
+    const char* data = page.data();
+    if (NodeType(data) != kLeafNode) {
+      return Status::Corruption("cursor on non-leaf page");
+    }
+    uint16_t count = NodeCount(data);
+    CALDERA_RETURN_IF_ERROR(
+        ValidateNodeCount(count, tree_->leaf_capacity(), leaf_));
+    if (slot_ < count) {
+      entry_.assign(data + kNodeHeaderSize + slot_ * es, es);
+      return Status::Ok();
+    }
+    leaf_ = LeafNext(data);
+    slot_ = 0;
+  }
+  tree_ = nullptr;
+  return Status::Ok();
+}
+
+Status BTree::Cursor::Next() {
+  CALDERA_DCHECK(valid());
+  ++slot_;
+  return Load();
+}
+
+Result<BTree::Cursor> BTree::Seek(std::string_view key) {
+  if (key.size() != options_.key_size) {
+    return Status::InvalidArgument("key size mismatch");
+  }
+  CALDERA_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  CALDERA_ASSIGN_OR_RETURN(PageHandle leaf, pool_->Fetch(leaf_id));
+  const char* data = leaf.data();
+  const uint32_t ks = options_.key_size;
+  const uint32_t es = leaf_entry_size();
+  uint16_t count = NodeCount(data);
+  CALDERA_RETURN_IF_ERROR(ValidateNodeCount(count, leaf_capacity(), leaf_id));
+  uint32_t lo = 0, hi = count;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (std::memcmp(data + kNodeHeaderSize + mid * es, key.data(), ks) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  Cursor cursor;
+  cursor.tree_ = this;
+  cursor.leaf_ = leaf_id;
+  cursor.slot_ = lo;
+  leaf.Release();
+  CALDERA_RETURN_IF_ERROR(cursor.Load());
+  return cursor;
+}
+
+Result<BTree::Cursor> BTree::SeekFirst() {
+  PageId current = root_;
+  for (;;) {
+    CALDERA_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    const char* data = page.data();
+    if (NodeType(data) == kLeafNode) break;
+    current = InternalChild0(data);
+  }
+  Cursor cursor;
+  cursor.tree_ = this;
+  cursor.leaf_ = current;
+  cursor.slot_ = 0;
+  CALDERA_RETURN_IF_ERROR(cursor.Load());
+  return cursor;
+}
+
+Status BTree::CheckNode(PageId id, std::string_view lower,
+                        std::string_view upper, uint32_t depth,
+                        uint64_t* entries, PageId* leftmost_leaf) {
+  CALDERA_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id));
+  const char* data = page.data();
+  const uint32_t ks = options_.key_size;
+  uint16_t count = NodeCount(data);
+  CALDERA_RETURN_IF_ERROR(ValidateNodeCount(
+      count,
+      NodeType(data) == kLeafNode ? leaf_capacity() : internal_capacity(),
+      id));
+
+  auto in_bounds = [&](const char* key) {
+    if (!lower.empty() && std::memcmp(key, lower.data(), ks) < 0) return false;
+    if (!upper.empty() && std::memcmp(key, upper.data(), ks) >= 0) return false;
+    return true;
+  };
+
+  if (NodeType(data) == kLeafNode) {
+    if (depth + 1 != height_) {
+      return Status::Corruption("leaf at depth " + std::to_string(depth) +
+                                " but height is " + std::to_string(height_));
+    }
+    if (leftmost_leaf != nullptr && *leftmost_leaf == kInvalidPageId) {
+      *leftmost_leaf = id;
+    }
+    const uint32_t es = leaf_entry_size();
+    for (uint32_t i = 0; i < count; ++i) {
+      const char* key = data + kNodeHeaderSize + i * es;
+      if (!in_bounds(key)) return Status::Corruption("leaf key out of bounds");
+      if (i > 0 &&
+          std::memcmp(data + kNodeHeaderSize + (i - 1) * es, key, ks) >= 0) {
+        return Status::Corruption("unsorted leaf keys");
+      }
+    }
+    *entries += count;
+    return Status::Ok();
+  }
+
+  if (NodeType(data) != kInternalNode) {
+    return Status::Corruption("unknown node type");
+  }
+  if (count == 0) return Status::Corruption("empty internal node");
+  const uint32_t es = internal_entry_size();
+  std::vector<std::string> seps;
+  std::vector<PageId> children;
+  children.push_back(InternalChild0(data));
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* e = data + kNodeHeaderSize + i * es;
+    if (!in_bounds(e)) return Status::Corruption("separator out of bounds");
+    if (i > 0 && seps.back().compare(0, ks, e, ks) >= 0) {
+      return Status::Corruption("unsorted separators");
+    }
+    seps.emplace_back(e, ks);
+    children.push_back(GetFixed64(e + ks));
+  }
+  page.Release();
+  for (size_t i = 0; i < children.size(); ++i) {
+    std::string_view lo = (i == 0) ? lower : std::string_view(seps[i - 1]);
+    std::string_view hi = (i == seps.size()) ? upper
+                                             : std::string_view(seps[i]);
+    CALDERA_RETURN_IF_ERROR(
+        CheckNode(children[i], lo, hi, depth + 1, entries, leftmost_leaf));
+  }
+  return Status::Ok();
+}
+
+Status BTree::CheckInvariants() {
+  uint64_t entries = 0;
+  PageId leftmost = kInvalidPageId;
+  CALDERA_RETURN_IF_ERROR(CheckNode(root_, {}, {}, 0, &entries, &leftmost));
+  if (entries != num_entries_) {
+    return Status::Corruption(
+        "entry count mismatch: counted " + std::to_string(entries) +
+        " vs meta " + std::to_string(num_entries_));
+  }
+  // Walk the leaf chain and verify global key order.
+  std::string prev;
+  const uint32_t ks = options_.key_size;
+  const uint32_t es = leaf_entry_size();
+  uint64_t chained = 0;
+  for (PageId leaf = leftmost; leaf != kInvalidPageId;) {
+    CALDERA_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(leaf));
+    const char* data = page.data();
+    if (NodeType(data) != kLeafNode) {
+      return Status::Corruption("leaf chain reaches non-leaf");
+    }
+    uint16_t count = NodeCount(data);
+    CALDERA_RETURN_IF_ERROR(ValidateNodeCount(count, leaf_capacity(), leaf));
+    for (uint32_t i = 0; i < count; ++i) {
+      const char* key = data + kNodeHeaderSize + i * es;
+      if (!prev.empty() && prev.compare(0, ks, key, ks) >= 0) {
+        return Status::Corruption("leaf chain out of order");
+      }
+      prev.assign(key, ks);
+      ++chained;
+    }
+    leaf = LeafNext(data);
+  }
+  if (chained != num_entries_) {
+    return Status::Corruption("leaf chain entry count mismatch");
+  }
+  return Status::Ok();
+}
+
+BTreeBuilder::BTreeBuilder(std::unique_ptr<BTree> tree, double fill_factor)
+    : tree_(std::move(tree)), fill_factor_(fill_factor) {
+  uint32_t cap = tree_->leaf_capacity();
+  max_leaf_entries_ =
+      std::max<uint32_t>(1, static_cast<uint32_t>(cap * fill_factor_));
+  levels_.resize(1);
+}
+
+Result<std::unique_ptr<BTreeBuilder>> BTreeBuilder::Create(
+    const std::string& path, const BTreeOptions& options, uint32_t page_size,
+    double fill_factor) {
+  if (fill_factor <= 0.0 || fill_factor > 1.0) {
+    return Status::InvalidArgument("fill_factor must be in (0, 1]");
+  }
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
+                           BTree::Create(path, options, page_size,
+                                         /*pool_pages=*/64));
+  return std::unique_ptr<BTreeBuilder>(
+      new BTreeBuilder(std::move(tree), fill_factor));
+}
+
+Status BTreeBuilder::FlushLeaf() {
+  if (leaf_count_ == 0) return Status::Ok();
+  CALDERA_ASSIGN_OR_RETURN(PageHandle page, tree_->pool_->NewPage());
+  char* data = page.data();
+  SetNodeType(data, kLeafNode);
+  SetNodeCount(data, static_cast<uint16_t>(leaf_count_));
+  SetLeafNext(data, kInvalidPageId);
+  std::memcpy(data + kNodeHeaderSize, leaf_buf_.data(), leaf_buf_.size());
+  page.MarkDirty();
+  PageId id = page.page_id();
+  page.Release();
+
+  if (prev_leaf_ != kInvalidPageId) {
+    CALDERA_ASSIGN_OR_RETURN(PageHandle prev, tree_->pool_->Fetch(prev_leaf_));
+    SetLeafNext(prev.data(), id);
+    prev.MarkDirty();
+  }
+  prev_leaf_ = id;
+  levels_[0].emplace_back(leaf_buf_.substr(0, tree_->options_.key_size), id);
+  leaf_buf_.clear();
+  leaf_count_ = 0;
+  return Status::Ok();
+}
+
+Status BTreeBuilder::Add(std::string_view key, std::string_view value) {
+  if (finished_) return Status::FailedPrecondition("builder finished");
+  if (key.size() != tree_->options_.key_size ||
+      value.size() != tree_->options_.value_size) {
+    return Status::InvalidArgument("key/value size mismatch");
+  }
+  if (!last_key_.empty() && last_key_.compare(0, key.size(), key.data(),
+                                              key.size()) >= 0) {
+    return Status::InvalidArgument("bulk-load keys must strictly increase");
+  }
+  last_key_.assign(key.data(), key.size());
+  leaf_buf_.append(key.data(), key.size());
+  leaf_buf_.append(value.data(), value.size());
+  ++leaf_count_;
+  ++total_entries_;
+  if (leaf_count_ >= max_leaf_entries_) CALDERA_RETURN_IF_ERROR(FlushLeaf());
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<BTree>> BTreeBuilder::Finish(size_t pool_pages) {
+  if (finished_) return Status::FailedPrecondition("builder finished");
+  finished_ = true;
+  CALDERA_RETURN_IF_ERROR(FlushLeaf());
+
+  if (levels_[0].empty()) {
+    // Empty tree: keep the pre-allocated empty root leaf.
+    CALDERA_RETURN_IF_ERROR(tree_->Flush());
+    return std::move(tree_);
+  }
+
+  const uint32_t ks = tree_->options_.key_size;
+  const uint32_t es = tree_->internal_entry_size();
+  uint32_t max_internal = std::max<uint32_t>(
+      2, static_cast<uint32_t>(tree_->internal_capacity() * fill_factor_));
+
+  size_t level = 0;
+  while (levels_[level].size() > 1) {
+    levels_.emplace_back();
+    auto& children = levels_[level];
+    auto& parents = levels_[level + 1];
+    size_t i = 0;
+    while (i < children.size()) {
+      // Each internal node takes child0 plus up to max_internal keyed
+      // children.
+      size_t group = std::min<size_t>(children.size() - i,
+                                      static_cast<size_t>(max_internal) + 1);
+      // Avoid a trailing single-child internal node (it would have zero
+      // separators): steal one from this group.
+      if (children.size() - (i + group) == 1) --group;
+      CALDERA_ASSIGN_OR_RETURN(PageHandle page, tree_->pool_->NewPage());
+      char* data = page.data();
+      SetNodeType(data, kInternalNode);
+      SetInternalChild0(data, children[i].second);
+      uint16_t count = 0;
+      for (size_t j = 1; j < group; ++j) {
+        char* e = data + kNodeHeaderSize + count * es;
+        std::memcpy(e, children[i + j].first.data(), ks);
+        PageId child = children[i + j].second;
+        std::memcpy(e + ks, &child, 8);
+        ++count;
+      }
+      SetNodeCount(data, count);
+      page.MarkDirty();
+      parents.emplace_back(children[i].first, page.page_id());
+      i += group;
+    }
+    ++level;
+  }
+
+  tree_->root_ = levels_[level][0].second;
+  tree_->height_ = static_cast<uint32_t>(level + 1);
+  tree_->num_entries_ = total_entries_;
+  CALDERA_RETURN_IF_ERROR(tree_->Flush());
+  std::unique_ptr<BTree> out = std::move(tree_);
+  return out;
+}
+
+}  // namespace caldera

@@ -1,0 +1,44 @@
+#include "caldera/access_method.h"
+
+#include <algorithm>
+
+namespace caldera {
+
+const char* AccessMethodName(AccessMethodKind kind) {
+  switch (kind) {
+    case AccessMethodKind::kAuto:
+      return "auto";
+    case AccessMethodKind::kScan:
+      return "scan";
+    case AccessMethodKind::kBTree:
+      return "btree";
+    case AccessMethodKind::kTopK:
+      return "topk-btree";
+    case AccessMethodKind::kMcIndex:
+      return "mc-index";
+    case AccessMethodKind::kSemiIndependent:
+      return "semi-independent";
+  }
+  return "unknown";
+}
+
+QuerySignal FilterSignal(const QuerySignal& signal, double threshold) {
+  QuerySignal out;
+  for (const TimestepProbability& e : signal) {
+    if (e.prob > threshold) out.push_back(e);
+  }
+  return out;
+}
+
+QuerySignal TopKOfSignal(const QuerySignal& signal, size_t k) {
+  QuerySignal out = signal;
+  std::sort(out.begin(), out.end(),
+            [](const TimestepProbability& a, const TimestepProbability& b) {
+              if (a.prob != b.prob) return a.prob > b.prob;
+              return a.time < b.time;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace caldera

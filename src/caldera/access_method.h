@@ -1,0 +1,67 @@
+#ifndef CALDERA_CALDERA_ACCESS_METHOD_H_
+#define CALDERA_CALDERA_ACCESS_METHOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace caldera {
+
+/// One output tuple of a Regular query: the probability that the query is
+/// satisfied (a match ends) at `time` (Section 2.2).
+struct TimestepProbability {
+  uint64_t time;
+  double prob;
+
+  bool operator==(const TimestepProbability&) const = default;
+};
+
+/// The query signal. Exact access methods report every processed timestep;
+/// timesteps they provably skipped have probability zero.
+using QuerySignal = std::vector<TimestepProbability>;
+
+/// Which Ex implementation ran (Figure 5(b)).
+enum class AccessMethodKind : uint8_t {
+  kAuto = 0,
+  kScan,             ///< Algorithm 1: naive full stream scan.
+  kBTree,            ///< Algorithm 2: BT_C cursor intersection.
+  kTopK,             ///< Algorithm 3: TA over BT_P.
+  kMcIndex,          ///< Algorithm 4: MC-index span skipping.
+  kSemiIndependent,  ///< Algorithm 5: approximate gap independence.
+};
+
+const char* AccessMethodName(AccessMethodKind kind);
+
+/// Cost counters reported by every access method.
+struct ExecStats {
+  uint64_t reg_updates = 0;        ///< Reg operator initialize/update calls.
+  uint64_t relevant_timesteps = 0; ///< Index-reported relevant timesteps.
+  uint64_t intervals = 0;          ///< Candidate intervals processed.
+  uint64_t pruned_candidates = 0;  ///< Top-k candidates pruned before Reg.
+  uint64_t mc_entry_fetches = 0;   ///< MC-index entries fetched.
+  uint64_t mc_raw_fetches = 0;     ///< Raw CPTs fetched for MC residues.
+  BufferPoolStats stream_io;       ///< Page traffic on the stream files.
+  BufferPoolStats index_io;        ///< Page traffic on index files.
+  double elapsed_seconds = 0.0;    ///< Wall-clock execution time.
+};
+
+/// Result of one query execution.
+struct QueryResult {
+  AccessMethodKind method = AccessMethodKind::kAuto;
+  QuerySignal signal;
+  ExecStats stats;
+};
+
+/// Returns the entries of `signal` with prob > threshold, useful for event
+/// detection (Figure 4: "Bob is entering an office if p > 0.3").
+QuerySignal FilterSignal(const QuerySignal& signal, double threshold);
+
+/// Returns the top-k entries of `signal` by probability, descending.
+QuerySignal TopKOfSignal(const QuerySignal& signal, size_t k);
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_ACCESS_METHOD_H_

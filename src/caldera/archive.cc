@@ -1,0 +1,169 @@
+#include "caldera/archive.h"
+
+#include <filesystem>
+
+#include "index/btc_index.h"
+#include "index/btp_index.h"
+
+namespace caldera {
+
+namespace {
+std::string BtcPath(const std::string& dir, size_t attr) {
+  return dir + "/btc.attr" + std::to_string(attr) + ".bt";
+}
+std::string BtpPath(const std::string& dir, size_t attr) {
+  return dir + "/btp.attr" + std::to_string(attr) + ".bt";
+}
+std::string McDir(const std::string& dir) { return dir + "/mc"; }
+std::string JoinPrefix(const std::string& dir, const std::string& column) {
+  return dir + "/join." + column;
+}
+}  // namespace
+
+Result<std::unique_ptr<ArchivedStream>> ArchivedStream::Open(
+    const std::string& dir, size_t pool_pages) {
+  auto archived = std::unique_ptr<ArchivedStream>(new ArchivedStream(dir));
+  CALDERA_ASSIGN_OR_RETURN(archived->stream_,
+                           StoredStream::Open(dir, pool_pages));
+  const size_t num_attrs = archived->stream_->schema().num_attributes();
+  archived->btc_.resize(num_attrs);
+  archived->btp_.resize(num_attrs);
+  for (size_t attr = 0; attr < num_attrs; ++attr) {
+    if (FileExists(BtcPath(dir, attr))) {
+      CALDERA_ASSIGN_OR_RETURN(archived->btc_[attr],
+                               BTree::Open(BtcPath(dir, attr), pool_pages));
+    }
+    if (FileExists(BtpPath(dir, attr))) {
+      CALDERA_ASSIGN_OR_RETURN(archived->btp_[attr],
+                               BTree::Open(BtpPath(dir, attr), pool_pages));
+    }
+  }
+  if (FileExists(McDir(dir) + "/mc.meta")) {
+    StoredStream* raw = archived->stream_.get();
+    CALDERA_ASSIGN_OR_RETURN(
+        archived->mc_,
+        McIndex::Open(
+            McDir(dir),
+            [raw](uint64_t t, Cpt* out) { return raw->ReadTransition(t, out); },
+            pool_pages));
+  }
+  // Join indexes: join.<column>.meta files.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("join.", 0) == 0 &&
+        name.size() > 10 &&
+        name.substr(name.size() - 5) == ".meta") {
+      std::string column = name.substr(5, name.size() - 10);
+      CALDERA_ASSIGN_OR_RETURN(
+          archived->join_indexes_[column],
+          JoinIndex::Open(JoinPrefix(dir, column), pool_pages));
+    }
+  }
+  return archived;
+}
+
+JoinIndex* ArchivedStream::join_index(const std::string& column) {
+  auto it = join_indexes_.find(column);
+  return it == join_indexes_.end() ? nullptr : it->second.get();
+}
+
+BufferPoolStats ArchivedStream::IndexIoStats() const {
+  BufferPoolStats total;
+  for (const auto& tree : btc_) {
+    if (tree != nullptr) total += tree->stats();
+  }
+  for (const auto& tree : btp_) {
+    if (tree != nullptr) total += tree->stats();
+  }
+  if (mc_ != nullptr) total += mc_->IoStats();
+  for (const auto& [column, index] : join_indexes_) total += index->stats();
+  return total;
+}
+
+void ArchivedStream::ResetStats() {
+  stream_->ResetStats();
+  for (const auto& tree : btc_) {
+    if (tree != nullptr) tree->ResetStats();
+  }
+  for (const auto& tree : btp_) {
+    if (tree != nullptr) tree->ResetStats();
+  }
+  if (mc_ != nullptr) mc_->ResetStats();
+  for (const auto& [column, index] : join_indexes_) index->ResetStats();
+}
+
+Status StreamArchive::CreateStream(const std::string& name,
+                                   const MarkovianStream& stream,
+                                   DiskLayout layout, uint32_t page_size) {
+  if (HasStream(name)) {
+    return Status::AlreadyExists("stream '" + name + "' already archived");
+  }
+  CALDERA_RETURN_IF_ERROR(Init());
+  return WriteStream(StreamDir(name), stream, layout, page_size);
+}
+
+Status StreamArchive::BuildBtc(const std::string& name, size_t attr,
+                               uint32_t page_size) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<StoredStream> stored,
+                           StoredStream::Open(StreamDir(name)));
+  return BuildBtcIndexFromStored(stored.get(), attr,
+                                 BtcPath(StreamDir(name), attr), page_size)
+      .status();
+}
+
+Status StreamArchive::BuildBtp(const std::string& name, size_t attr,
+                               uint32_t page_size) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<StoredStream> stored,
+                           StoredStream::Open(StreamDir(name)));
+  return BuildBtpIndexFromStored(stored.get(), attr,
+                                 BtpPath(StreamDir(name), attr), page_size)
+      .status();
+}
+
+Status StreamArchive::BuildMc(const std::string& name,
+                              const McIndexOptions& options) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<StoredStream> stored,
+                           StoredStream::Open(StreamDir(name)));
+  CALDERA_ASSIGN_OR_RETURN(MarkovianStream stream, LoadStream(stored.get()));
+  return McIndex::Build(stream, McDir(StreamDir(name)), options);
+}
+
+Status StreamArchive::BuildJoinIndex(const std::string& name,
+                                     const DimensionTable& table,
+                                     const std::string& column,
+                                     uint32_t page_size) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<StoredStream> stored,
+                           StoredStream::Open(StreamDir(name)));
+  CALDERA_ASSIGN_OR_RETURN(MarkovianStream stream, LoadStream(stored.get()));
+  return JoinIndex::Build(stream, table, column,
+                          JoinPrefix(StreamDir(name), column), page_size)
+      .status();
+}
+
+Result<std::unique_ptr<ArchivedStream>> StreamArchive::OpenStream(
+    const std::string& name, size_t pool_pages) {
+  if (!HasStream(name)) {
+    return Status::NotFound("no stream named '" + name + "' in archive");
+  }
+  return ArchivedStream::Open(StreamDir(name), pool_pages);
+}
+
+Result<std::vector<std::string>> StreamArchive::ListStreams() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (entry.is_directory() && FileExists(entry.path() / "meta.bin")) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) return Status::IoError("cannot list archive: " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool StreamArchive::HasStream(const std::string& name) const {
+  return FileExists(StreamDir(name) + "/meta.bin");
+}
+
+}  // namespace caldera

@@ -1,0 +1,108 @@
+#ifndef CALDERA_CALDERA_ARCHIVE_H_
+#define CALDERA_CALDERA_ARCHIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "index/join_index.h"
+#include "index/mc_index.h"
+#include "markov/stream_io.h"
+#include "query/predicate.h"
+
+namespace caldera {
+
+/// One archived Markovian stream plus whatever indexes have been built for
+/// it. Indexes are discovered on Open; absent indexes are simply nullptr
+/// and access methods report FailedPrecondition when they need one.
+class ArchivedStream {
+ public:
+  static Result<std::unique_ptr<ArchivedStream>> Open(
+      const std::string& dir, size_t pool_pages = 256);
+
+  StoredStream* stream() { return stream_.get(); }
+  const StreamSchema& schema() const { return stream_->schema(); }
+  uint64_t length() const { return stream_->length(); }
+  const std::string& dir() const { return dir_; }
+
+  /// BT_C / BT_P over one attribute; nullptr when not built.
+  BTree* btc(size_t attr) {
+    return attr < btc_.size() ? btc_[attr].get() : nullptr;
+  }
+  BTree* btp(size_t attr) {
+    return attr < btp_.size() ? btp_[attr].get() : nullptr;
+  }
+  McIndex* mc() { return mc_.get(); }
+  JoinIndex* join_index(const std::string& column);
+
+  /// Aggregated index-page traffic since ResetStats.
+  BufferPoolStats IndexIoStats() const;
+  void ResetStats();
+
+ private:
+  explicit ArchivedStream(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  std::unique_ptr<StoredStream> stream_;
+  std::vector<std::unique_ptr<BTree>> btc_;
+  std::vector<std::unique_ptr<BTree>> btp_;
+  std::unique_ptr<McIndex> mc_;
+  std::map<std::string, std::unique_ptr<JoinIndex>> join_indexes_;
+};
+
+/// The on-disk catalog: a root directory with one subdirectory per stream.
+/// Streams are written once, then indexed; queries run against
+/// ArchivedStream handles.
+class StreamArchive {
+ public:
+  explicit StreamArchive(std::string root) : root_(std::move(root)) {}
+
+  Status Init() { return CreateDirectories(root_); }
+
+  /// Archives `stream` under `name` with the chosen disk layout
+  /// (Section 3.4.2).
+  Status CreateStream(const std::string& name, const MarkovianStream& stream,
+                      DiskLayout layout = DiskLayout::kSeparated,
+                      uint32_t page_size = kDefaultPageSize);
+
+  /// Builds the chronological B+ tree index on one attribute.
+  Status BuildBtc(const std::string& name, size_t attr,
+                  uint32_t page_size = kDefaultPageSize);
+
+  /// Builds the probability-ordered B+ tree index on one attribute.
+  Status BuildBtp(const std::string& name, size_t attr,
+                  uint32_t page_size = kDefaultPageSize);
+
+  /// Builds the Markov-chain index.
+  Status BuildMc(const std::string& name, const McIndexOptions& options = {});
+
+  /// Builds a join index for `column` of `table`.
+  Status BuildJoinIndex(const std::string& name, const DimensionTable& table,
+                        const std::string& column,
+                        uint32_t page_size = kDefaultPageSize);
+
+  /// Opens an archived stream and its indexes.
+  Result<std::unique_ptr<ArchivedStream>> OpenStream(
+      const std::string& name, size_t pool_pages = 256);
+
+  /// Names of all archived streams, sorted.
+  Result<std::vector<std::string>> ListStreams() const;
+
+  bool HasStream(const std::string& name) const;
+
+  std::string StreamDir(const std::string& name) const {
+    return root_ + "/" + name;
+  }
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_ARCHIVE_H_

@@ -1,0 +1,66 @@
+#include "caldera/batch.h"
+
+#include <algorithm>
+
+namespace caldera {
+
+double BatchResult::TotalSeconds() const {
+  double total = 0;
+  for (const BatchStreamResult& s : streams) {
+    total += s.result.stats.elapsed_seconds;
+  }
+  return total;
+}
+
+uint64_t BatchResult::TotalRegUpdates() const {
+  uint64_t total = 0;
+  for (const BatchStreamResult& s : streams) {
+    total += s.result.stats.reg_updates;
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, TimestepProbability>>
+BatchResult::TopMatches(size_t k, double threshold) const {
+  std::vector<std::pair<std::string, TimestepProbability>> all;
+  for (const BatchStreamResult& s : streams) {
+    for (const TimestepProbability& e : s.result.signal) {
+      if (e.prob > threshold) all.emplace_back(s.stream, e);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second.prob != b.second.prob) return a.second.prob > b.second.prob;
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.time < b.second.time;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Result<BatchResult> ExecuteBatch(Caldera* system, const RegularQuery& query,
+                                 const BatchOptions& options) {
+  std::vector<std::string> streams = options.streams;
+  if (streams.empty()) {
+    CALDERA_ASSIGN_OR_RETURN(streams, system->archive()->ListStreams());
+  }
+  BatchResult batch;
+  batch.streams.reserve(streams.size());
+  for (const std::string& name : streams) {
+    Result<QueryResult> result = system->Execute(name, query, options.exec);
+    if (!result.ok() &&
+        result.status().code() == StatusCode::kFailedPrecondition &&
+        options.fallback_to_scan) {
+      ExecOptions scan_options = options.exec;
+      scan_options.method = AccessMethodKind::kScan;
+      result = system->Execute(name, query, scan_options);
+    }
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    "stream '" + name + "': " + result.status().message());
+    }
+    batch.streams.push_back({name, std::move(*result)});
+  }
+  return batch;
+}
+
+}  // namespace caldera

@@ -1,0 +1,54 @@
+#ifndef CALDERA_CALDERA_BATCH_H_
+#define CALDERA_CALDERA_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "caldera/system.h"
+
+namespace caldera {
+
+/// Result of one stream within a batch execution.
+struct BatchStreamResult {
+  std::string stream;
+  QueryResult result;
+};
+
+/// Aggregate over a batch execution.
+struct BatchResult {
+  std::vector<BatchStreamResult> streams;
+
+  /// Sum of per-stream wall-clock execution times.
+  double TotalSeconds() const;
+  /// Sum of per-stream Reg updates.
+  uint64_t TotalRegUpdates() const;
+  /// All matches across streams above `threshold`, tagged with their
+  /// stream, sorted by decreasing probability.
+  std::vector<std::pair<std::string, TimestepProbability>> TopMatches(
+      size_t k, double threshold = 0.0) const;
+};
+
+/// Runs one Regular query against every stream in the archive (or a chosen
+/// subset). This is the paper's deployment setting — one Markovian stream
+/// per tag, partitioned on disk by stream (Section 3.4.2) — so each
+/// execution touches only its own partition's files and the total cost is
+/// the sum of per-stream costs.
+///
+/// Streams that cannot run the requested method (e.g. a missing index)
+/// surface as an error unless `options_per_stream_fallback_to_scan` allows
+/// falling back.
+struct BatchOptions {
+  ExecOptions exec;
+  /// Restrict to these streams (empty = all archived streams).
+  std::vector<std::string> streams;
+  /// On FailedPrecondition (missing index), retry with the naive scan
+  /// instead of failing the batch.
+  bool fallback_to_scan = false;
+};
+
+Result<BatchResult> ExecuteBatch(Caldera* system, const RegularQuery& query,
+                                 const BatchOptions& options = {});
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_BATCH_H_

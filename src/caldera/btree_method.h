@@ -1,0 +1,22 @@
+#ifndef CALDERA_CALDERA_BTREE_METHOD_H_
+#define CALDERA_CALDERA_BTREE_METHOD_H_
+
+#include "caldera/access_method.h"
+#include "caldera/archive.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// Algorithm 2 — the B+Tree access method for fixed-length queries: one
+/// BT_C cursor per (indexable) link predicate, advanced in a temporally-
+/// aware merge join; only intersecting length-n intervals (merged when they
+/// overlap) are fetched from disk and pushed through Reg.
+///
+/// Exact: probabilities at reported timesteps equal the naive scan's, and
+/// every timestep with nonzero match probability is reported.
+Result<QueryResult> RunBTreeMethod(ArchivedStream* archived,
+                                   const RegularQuery& query);
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_BTREE_METHOD_H_

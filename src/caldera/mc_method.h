@@ -1,0 +1,24 @@
+#ifndef CALDERA_CALDERA_MC_METHOD_H_
+#define CALDERA_CALDERA_MC_METHOD_H_
+
+#include "caldera/access_method.h"
+#include "caldera/archive.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// Algorithm 4 — the MC-index access method for variable-length (or any)
+/// Regular queries: advances one BT_C cursor per positive base predicate in
+/// parallel; between consecutive relevant timesteps the Markov-chain index
+/// supplies the composed CPT spanning the gap, so the skipped interior is
+/// never read while its correlations are fully preserved.
+///
+/// Exact: skipped timesteps provably carry zero marginal mass on every
+/// positive query predicate, so their automaton symbols are the (idempotent)
+/// null atom and the collapsed update equals the step-by-step one.
+Result<QueryResult> RunMcMethod(ArchivedStream* archived,
+                                const RegularQuery& query);
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_MC_METHOD_H_

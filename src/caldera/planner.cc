@@ -1,0 +1,101 @@
+#include "caldera/planner.h"
+
+#include <algorithm>
+
+#include "caldera/intersection.h"
+
+namespace caldera {
+
+namespace {
+// Above this density the B+Tree method degenerates into a scan with B+ tree
+// overhead (Section 4.2.1), so the planner prefers the scan.
+constexpr double kDenseCutoff = 0.8;
+// Above this density a top-k query benefits from TA pruning (Section 4.2.2).
+constexpr double kTopkDensityCutoff = 0.5;
+}  // namespace
+
+Result<double> EstimateDensity(ArchivedStream* archived,
+                               const RegularQuery& query,
+                               uint64_t sample_limit) {
+  const uint64_t length = archived->length();
+  if (length == 0) return 0.0;
+  double max_density = 0.0;
+  for (const Predicate* pred : query.CursorPredicates()) {
+    Result<PredicateCursor> cursor = MakePredicateCursor(archived, *pred);
+    if (!cursor.ok()) return cursor.status();
+    uint64_t count = 0;
+    while (cursor->valid() && count < sample_limit) {
+      ++count;
+      CALDERA_RETURN_IF_ERROR(cursor->Next());
+    }
+    double density = cursor->valid()
+                         ? 1.0  // Hit the cap: assume dense.
+                         : static_cast<double>(count) / length;
+    max_density = std::max(max_density, density);
+  }
+  return max_density;
+}
+
+Result<PlanDecision> PlanQuery(ArchivedStream* archived,
+                               const RegularQuery& query, bool want_topk,
+                               bool approximation_ok) {
+  PlanDecision decision;
+
+  bool has_btc = true;
+  for (const Predicate* pred : query.CursorPredicates()) {
+    const Predicate* base = pred->is_negation() ? &pred->base() : pred;
+    if (archived->btc(base->attribute()) == nullptr) has_btc = false;
+  }
+  if (!has_btc) {
+    decision.method = AccessMethodKind::kScan;
+    decision.reason = "missing BT_C index: full scan is the only option";
+    return decision;
+  }
+
+  CALDERA_ASSIGN_OR_RETURN(decision.estimated_density,
+                           EstimateDensity(archived, query));
+
+  if (query.fixed_length()) {
+    bool has_btp = true;
+    for (size_t i = 0; i < query.num_links(); ++i) {
+      const Predicate& primary = query.link(i).primary;
+      if (!primary.indexable() ||
+          primary.kind() == Predicate::Kind::kRange ||
+          archived->btp(primary.attribute()) == nullptr) {
+        has_btp = false;
+      }
+    }
+    if (want_topk && has_btp &&
+        decision.estimated_density >= kTopkDensityCutoff) {
+      decision.method = AccessMethodKind::kTopK;
+      decision.reason = "fixed-length top-k on dense data: TA pruning pays";
+      return decision;
+    }
+    if (decision.estimated_density <= kDenseCutoff) {
+      decision.method = AccessMethodKind::kBTree;
+      decision.reason = "fixed-length on sparse data: cursor intersection";
+    } else {
+      decision.method = AccessMethodKind::kScan;
+      decision.reason =
+          "fixed-length on dense data: B+Tree degenerates to a scan";
+    }
+    return decision;
+  }
+
+  // Variable-length.
+  if (approximation_ok) {
+    decision.method = AccessMethodKind::kSemiIndependent;
+    decision.reason = "variable-length, approximation allowed";
+    return decision;
+  }
+  if (archived->mc() != nullptr) {
+    decision.method = AccessMethodKind::kMcIndex;
+    decision.reason = "variable-length with MC index";
+    return decision;
+  }
+  decision.method = AccessMethodKind::kScan;
+  decision.reason = "variable-length without MC index: full scan";
+  return decision;
+}
+
+}  // namespace caldera

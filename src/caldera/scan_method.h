@@ -1,0 +1,19 @@
+#ifndef CALDERA_CALDERA_SCAN_METHOD_H_
+#define CALDERA_CALDERA_SCAN_METHOD_H_
+
+#include "caldera/access_method.h"
+#include "caldera/archive.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// Algorithm 1 — the naive access method: initializes Reg with the first
+/// marginal and streams every CPT on disk through it. The baseline every
+/// optimized method is compared against; also the only option when no
+/// suitable index exists.
+Result<QueryResult> RunScanMethod(ArchivedStream* archived,
+                                  const RegularQuery& query);
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_SCAN_METHOD_H_

@@ -1,0 +1,68 @@
+#include "caldera/semi_independent_method.h"
+
+#include <chrono>
+
+#include "caldera/intersection.h"
+#include "reg/reg_operator.h"
+
+namespace caldera {
+
+Result<QueryResult> RunSemiIndependentMethod(ArchivedStream* archived,
+                                             const RegularQuery& query) {
+  CALDERA_RETURN_IF_ERROR(query.ValidateAgainst(archived->schema()));
+  StoredStream* stream = archived->stream();
+
+  auto start_clock = std::chrono::steady_clock::now();
+  archived->ResetStats();
+
+  std::vector<PredicateCursor> cursors;
+  for (const Predicate* pred : query.CursorPredicates()) {
+    CALDERA_ASSIGN_OR_RETURN(PredicateCursor cursor,
+                             MakePredicateCursor(archived, *pred));
+    cursors.push_back(std::move(cursor));
+  }
+  if (cursors.empty()) {
+    return Status::FailedPrecondition(
+        "query '" + query.name() + "' has no indexable predicate bases");
+  }
+
+  QueryResult result;
+  result.method = AccessMethodKind::kSemiIndependent;
+  RegOperator reg(query, archived->schema());
+  UnionCursor relevant(std::move(cursors));
+
+  Distribution marginal;
+  Cpt transition;
+  uint64_t t_prev = 0;
+  while (relevant.valid()) {
+    uint64_t t = relevant.time();
+    ++result.stats.relevant_timesteps;
+    if (!reg.initialized()) {
+      CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(t, &marginal));
+      result.signal.push_back({t, reg.Initialize(marginal)});
+    } else if (t == t_prev + 1) {
+      // Adjacent: the raw CPT costs the same access as the marginal, so
+      // keep the exact correlation (line 9 of Algorithm 5).
+      CALDERA_RETURN_IF_ERROR(stream->ReadTransition(t, &transition));
+      result.signal.push_back({t, reg.Update(transition)});
+    } else {
+      // Gap: approximate with independence (line 11).
+      CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(t, &marginal));
+      result.signal.push_back({t, reg.UpdateIndependent(marginal)});
+    }
+    t_prev = t;
+    CALDERA_RETURN_IF_ERROR(relevant.Next());
+  }
+
+  result.stats.reg_updates = reg.num_updates();
+  result.stats.intervals = result.stats.relevant_timesteps;
+  result.stats.stream_io = stream->IoStats();
+  result.stats.index_io = archived->IndexIoStats();
+  result.stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_clock)
+          .count();
+  return result;
+}
+
+}  // namespace caldera

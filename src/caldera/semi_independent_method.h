@@ -1,0 +1,24 @@
+#ifndef CALDERA_CALDERA_SEMI_INDEPENDENT_METHOD_H_
+#define CALDERA_CALDERA_SEMI_INDEPENDENT_METHOD_H_
+
+#include "caldera/access_method.h"
+#include "caldera/archive.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// Algorithm 5 — the approximate semi-independent access method: like the
+/// MC-index method it visits only relevant timesteps, but across a gap it
+/// reads just the marginal and assumes independence from the previous
+/// relevant timestep instead of fetching the composed CPT. Adjacent
+/// relevant timesteps still use the true CPT ("semi"-independent): the cost
+/// of reading it equals the cost of reading the marginal, so the extra
+/// correlation is free.
+///
+/// No accuracy guarantee (Section 3.4.3); Figure 9(c) quantifies the error.
+Result<QueryResult> RunSemiIndependentMethod(ArchivedStream* archived,
+                                             const RegularQuery& query);
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_SEMI_INDEPENDENT_METHOD_H_

@@ -1,0 +1,86 @@
+#include "caldera/system.h"
+
+#include "caldera/btree_method.h"
+#include "caldera/mc_method.h"
+#include "caldera/scan_method.h"
+#include "caldera/semi_independent_method.h"
+#include "caldera/topk_method.h"
+
+namespace caldera {
+
+Result<ArchivedStream*> Caldera::GetStream(const std::string& name,
+                                           size_t pool_pages) {
+  auto it = open_streams_.find(name);
+  if (it != open_streams_.end()) return it->second.get();
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<ArchivedStream> stream,
+                           archive_.OpenStream(name, pool_pages));
+  ArchivedStream* raw = stream.get();
+  open_streams_[name] = std::move(stream);
+  return raw;
+}
+
+Result<PlanDecision> Caldera::Plan(const std::string& stream_name,
+                                   const RegularQuery& query,
+                                   const ExecOptions& options) {
+  CALDERA_ASSIGN_OR_RETURN(ArchivedStream* archived,
+                           GetStream(stream_name, options.pool_pages));
+  if (options.method != AccessMethodKind::kAuto) {
+    PlanDecision decision;
+    decision.method = options.method;
+    decision.reason = "explicitly requested";
+    return decision;
+  }
+  return PlanQuery(archived, query, options.k > 0 || options.threshold > 0,
+                   options.approximation_ok);
+}
+
+Result<QueryResult> Caldera::Execute(const std::string& stream_name,
+                                     const RegularQuery& query,
+                                     const ExecOptions& options) {
+  CALDERA_ASSIGN_OR_RETURN(ArchivedStream* archived,
+                           GetStream(stream_name, options.pool_pages));
+  CALDERA_ASSIGN_OR_RETURN(PlanDecision decision,
+                           Plan(stream_name, query, options));
+
+  auto finalize = [&options](QueryResult result) {
+    if (options.threshold > 0) {
+      result.signal = FilterSignal(result.signal, options.threshold);
+    }
+    if (options.k > 0) result.signal = TopKOfSignal(result.signal, options.k);
+    return result;
+  };
+
+  switch (decision.method) {
+    case AccessMethodKind::kScan: {
+      CALDERA_ASSIGN_OR_RETURN(QueryResult result,
+                               RunScanMethod(archived, query));
+      return finalize(std::move(result));
+    }
+    case AccessMethodKind::kBTree: {
+      CALDERA_ASSIGN_OR_RETURN(QueryResult result,
+                               RunBTreeMethod(archived, query));
+      return finalize(std::move(result));
+    }
+    case AccessMethodKind::kTopK:
+      if (options.threshold > 0) {
+        return RunThresholdMethod(archived, query, options.threshold);
+      }
+      return RunTopKMethod(archived, query,
+                           options.k > 0 ? options.k : size_t{1});
+    case AccessMethodKind::kMcIndex: {
+      CALDERA_ASSIGN_OR_RETURN(QueryResult result,
+                               RunMcMethod(archived, query));
+      return finalize(std::move(result));
+    }
+    case AccessMethodKind::kSemiIndependent: {
+      CALDERA_ASSIGN_OR_RETURN(QueryResult result,
+                               RunSemiIndependentMethod(archived, query));
+      return finalize(std::move(result));
+    }
+    case AccessMethodKind::kAuto:
+      break;
+  }
+  return Status::Internal("planner returned kAuto");
+}
+
+}  // namespace caldera

@@ -1,0 +1,72 @@
+#ifndef CALDERA_CALDERA_SYSTEM_H_
+#define CALDERA_CALDERA_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "caldera/access_method.h"
+#include "caldera/archive.h"
+#include "caldera/planner.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// Execution knobs for Caldera::Execute.
+struct ExecOptions {
+  /// Access method; kAuto lets the planner choose.
+  AccessMethodKind method = AccessMethodKind::kAuto;
+  /// For top-k execution: number of matches (0 = full signal).
+  size_t k = 0;
+  /// For threshold execution: return only matches with probability above
+  /// this (0 = disabled). Used with method kTopK or kAuto on fixed-length
+  /// queries; other methods filter their signal.
+  double threshold = 0.0;
+  /// Allow the approximate semi-independent method in auto planning.
+  bool approximation_ok = false;
+  /// Buffer-pool pages per opened file.
+  size_t pool_pages = 256;
+};
+
+/// The Caldera system facade (Figure 1): an archive of smoothed Markovian
+/// streams plus Regular-query execution over them.
+///
+/// Typical use:
+///   Caldera system("/data/archive");
+///   system.archive()->CreateStream("bob", stream);
+///   system.archive()->BuildBtc("bob", 0);
+///   auto result = system.Execute("bob", query, {});
+class Caldera {
+ public:
+  explicit Caldera(std::string archive_root)
+      : archive_(std::move(archive_root)) {}
+
+  StreamArchive* archive() { return &archive_; }
+
+  /// Runs `query` against stream `stream_name` using the requested (or
+  /// planned) access method. With options.k > 0 and a fixed-length query
+  /// the result holds the top-k matches; otherwise the full signal.
+  Result<QueryResult> Execute(const std::string& stream_name,
+                              const RegularQuery& query,
+                              const ExecOptions& options = {});
+
+  /// The plan Execute would choose, without running it.
+  Result<PlanDecision> Plan(const std::string& stream_name,
+                            const RegularQuery& query,
+                            const ExecOptions& options = {});
+
+  /// Opens (and caches) a stream handle.
+  Result<ArchivedStream*> GetStream(const std::string& name,
+                                    size_t pool_pages = 256);
+
+  /// Drops cached stream handles (e.g. after building new indexes).
+  void InvalidateCache() { open_streams_.clear(); }
+
+ private:
+  StreamArchive archive_;
+  std::map<std::string, std::unique_ptr<ArchivedStream>> open_streams_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_SYSTEM_H_

@@ -1,0 +1,33 @@
+#ifndef CALDERA_CALDERA_TOPK_METHOD_H_
+#define CALDERA_CALDERA_TOPK_METHOD_H_
+
+#include "caldera/access_method.h"
+#include "caldera/archive.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// Algorithm 3 — the top-k B+Tree access method for fixed-length queries:
+/// adapts the Threshold Algorithm to Markovian streams. Candidate intervals
+/// are generated in decreasing order of per-link marginal probability via
+/// BT_P cursors; because a link's marginal upper-bounds the interval's
+/// match probability, the walk terminates as soon as no unseen interval can
+/// beat the current k-th best match.
+///
+/// Returns the k best matches in `signal`, sorted by decreasing
+/// probability (ties broken by time). Equality and set predicates only (the
+/// paper's top-k method does not support range predicates).
+Result<QueryResult> RunTopKMethod(ArchivedStream* archived,
+                                  const RegularQuery& query, size_t k);
+
+/// The threshold variant of Section 3.2: returns every match with
+/// probability strictly above `threshold`, using the same sorted access and
+/// marginal upper bounds — the walk stops as soon as no unseen interval can
+/// clear the threshold. Signal is sorted by decreasing probability.
+Result<QueryResult> RunThresholdMethod(ArchivedStream* archived,
+                                       const RegularQuery& query,
+                                       double threshold);
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_TOPK_METHOD_H_

@@ -1,0 +1,53 @@
+#ifndef CALDERA_CALDERA_VERIFY_H_
+#define CALDERA_CALDERA_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "caldera/archive.h"
+#include "common/status.h"
+
+namespace caldera {
+
+/// Knobs for VerifyArchivedStream.
+struct VerifyOptions {
+  /// Numeric tolerance for stochasticity/consistency checks.
+  double tolerance = 1e-6;
+  /// Check BT_C entries against stream marginals (both directions).
+  bool check_btc = true;
+  /// Check BT_P entries against stream marginals.
+  bool check_btp = true;
+  /// Check MC-index entries against freshly composed raw CPTs on a sample
+  /// of entries per level (0 disables; exact indexes only).
+  uint32_t mc_samples_per_level = 8;
+  /// Validate the stream's Markovian invariants (marginal/CPT consistency).
+  bool check_stream = true;
+};
+
+/// What the verifier covered.
+struct VerifyReport {
+  uint64_t timesteps_checked = 0;
+  uint64_t btc_entries_checked = 0;
+  uint64_t btp_entries_checked = 0;
+  uint64_t mc_entries_checked = 0;
+
+  std::string ToString() const;
+};
+
+/// Deep-checks an archived stream and every index built for it:
+///   * the stream parses end-to-end, marginals are normalized, CPT rows are
+///     stochastic, marginal(t) == marginal(t-1) * cpt(t);
+///   * every BT_C/BT_P tree satisfies its structural invariants, contains
+///     exactly one entry per (attribute value, timestep) of the marginal
+///     support, with the correct probability — and nothing else;
+///   * sampled MC-index entries equal the product of the raw CPTs they
+///     claim to span.
+/// Returns the first corruption found as a Status; on success fills
+/// `report`.
+Status VerifyArchivedStream(ArchivedStream* archived,
+                            const VerifyOptions& options,
+                            VerifyReport* report);
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_VERIFY_H_

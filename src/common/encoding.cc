@@ -1,0 +1,79 @@
+#include "common/encoding.h"
+
+#include "common/logging.h"
+
+namespace caldera {
+
+void EncodeU32(uint32_t value, std::string* out) {
+  char buf[4];
+  buf[0] = static_cast<char>((value >> 24) & 0xff);
+  buf[1] = static_cast<char>((value >> 16) & 0xff);
+  buf[2] = static_cast<char>((value >> 8) & 0xff);
+  buf[3] = static_cast<char>(value & 0xff);
+  out->append(buf, 4);
+}
+
+void EncodeU64(uint64_t value, std::string* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (56 - 8 * i)) & 0xff);
+  }
+  out->append(buf, 8);
+}
+
+uint32_t DecodeU32(const char* data) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+uint64_t DecodeU64(const char* data) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+void EncodeDoubleAscending(double v, std::string* out) {
+  CALDERA_DCHECK(v >= 0.0);
+  // For non-negative IEEE754 doubles, the raw bit pattern interpreted as an
+  // unsigned integer is monotone in the value.
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  EncodeU64(bits, out);
+}
+
+double DecodeDoubleAscending(const char* data) {
+  uint64_t bits = DecodeU64(data);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+void EncodeProbDescending(double p, std::string* out) {
+  CALDERA_DCHECK(p >= 0.0 && p <= 1.0);
+  EncodeDoubleAscending(1.0 - p, out);
+}
+
+double DecodeProbDescending(const char* data) {
+  return 1.0 - DecodeDoubleAscending(data);
+}
+
+void PutLengthPrefixed(std::string_view s, std::string* out) {
+  PutFixed32(static_cast<uint32_t>(s.size()), out);
+  out->append(s.data(), s.size());
+}
+
+bool GetLengthPrefixed(std::string_view data, size_t* offset,
+                       std::string_view* result) {
+  if (*offset + 4 > data.size()) return false;
+  uint32_t len = GetFixed32(data.data() + *offset);
+  *offset += 4;
+  if (*offset + len > data.size()) return false;
+  *result = data.substr(*offset, len);
+  *offset += len;
+  return true;
+}
+
+}  // namespace caldera

@@ -1,0 +1,96 @@
+#ifndef CALDERA_COMMON_ENCODING_H_
+#define CALDERA_COMMON_ENCODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace caldera {
+
+// Order-preserving binary key encoding.
+//
+// Caldera's B+ trees compare keys with memcmp, so composite keys
+// (value, time) and (value, 1-prob, time) are built by concatenating
+// order-preserving encodings of each component:
+//   * unsigned ints  -> big-endian bytes
+//   * probabilities  -> big-endian IEEE754 bits of (1.0 - p), so that higher
+//     probabilities sort first (descending-probability scans are forward
+//     scans)
+
+/// Appends a big-endian u32 to `out`; lexicographic order == numeric order.
+void EncodeU32(uint32_t value, std::string* out);
+
+/// Appends a big-endian u64 to `out`.
+void EncodeU64(uint64_t value, std::string* out);
+
+/// Appends an order-preserving encoding of a non-negative double in [0, 1]
+/// such that LARGER probabilities compare SMALLER (descending order).
+void EncodeProbDescending(double p, std::string* out);
+
+/// Appends an order-preserving encoding of a non-negative finite double
+/// (ascending order).
+void EncodeDoubleAscending(double v, std::string* out);
+
+/// Decodes a big-endian u32 from data (must have >= 4 bytes).
+uint32_t DecodeU32(const char* data);
+
+/// Decodes a big-endian u64 from data (must have >= 8 bytes).
+uint64_t DecodeU64(const char* data);
+
+/// Inverse of EncodeProbDescending (8 bytes).
+double DecodeProbDescending(const char* data);
+
+/// Inverse of EncodeDoubleAscending (8 bytes).
+double DecodeDoubleAscending(const char* data);
+
+// Fixed-width little-endian value (de)serialization helpers for on-disk
+// record formats (not order-preserving; do not use for keys).
+
+inline void PutFixed32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+inline void PutFixed64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline void PutDouble(double v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline uint32_t GetFixed32(const char* data) {
+  uint32_t v;
+  std::memcpy(&v, data, 4);
+  return v;
+}
+
+inline uint64_t GetFixed64(const char* data) {
+  uint64_t v;
+  std::memcpy(&v, data, 8);
+  return v;
+}
+
+inline double GetDouble(const char* data) {
+  double v;
+  std::memcpy(&v, data, 8);
+  return v;
+}
+
+/// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string_view s, std::string* out);
+
+/// Reads a length-prefixed string starting at data[*offset]; advances
+/// *offset. Returns false if truncated.
+bool GetLengthPrefixed(std::string_view data, size_t* offset,
+                       std::string_view* result);
+
+}  // namespace caldera
+
+#endif  // CALDERA_COMMON_ENCODING_H_

@@ -1,0 +1,140 @@
+#ifndef CALDERA_COMMON_STATUS_H_
+#define CALDERA_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace caldera {
+
+// Error categories used throughout Caldera. The library does not throw
+// exceptions; every fallible operation returns a Status or Result<T>.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kIoError,
+  kFailedPrecondition,
+  kUnimplemented,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "IO_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A Status carries either success (OK) or an error code plus message.
+/// Cheap to copy in the OK case; error messages are heap-allocated.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value of type T or an error Status.
+/// Modeled on absl::StatusOr; accessors CHECK-fail on misuse.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from error Statuses keeps call
+  // sites terse: `return 42;` / `return Status::NotFound("...")`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::move(std::get<T>(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates a non-OK Status from an expression.
+#define CALDERA_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::caldera::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// moves the value into `lhs`.
+#define CALDERA_ASSIGN_OR_RETURN(lhs, expr)           \
+  CALDERA_ASSIGN_OR_RETURN_IMPL_(                     \
+      CALDERA_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define CALDERA_CONCAT_INNER_(a, b) a##b
+#define CALDERA_CONCAT_(a, b) CALDERA_CONCAT_INNER_(a, b)
+#define CALDERA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace caldera
+
+#endif  // CALDERA_COMMON_STATUS_H_

@@ -1,0 +1,101 @@
+#include "hmm/hmm.h"
+
+#include <cmath>
+
+namespace caldera {
+
+Status Hmm::Validate(double tol) const {
+  if (num_states_ == 0) return Status::InvalidArgument("HMM has no states");
+  if (num_symbols_ == 0) return Status::InvalidArgument("HMM has no symbols");
+  if (!initial_.IsNormalized(tol)) {
+    return Status::InvalidArgument("HMM initial distribution not normalized");
+  }
+  for (const Distribution::Entry& e : initial_.entries()) {
+    if (e.value >= num_states_) {
+      return Status::InvalidArgument("initial mass on unknown state");
+    }
+  }
+  CALDERA_RETURN_IF_ERROR(transition_.ValidateStochastic(tol));
+  CALDERA_RETURN_IF_ERROR(emission_.ValidateStochastic(tol));
+  for (uint32_t s = 0; s < num_states_; ++s) {
+    if (transition_.FindRow(s) == nullptr) {
+      return Status::InvalidArgument("state " + std::to_string(s) +
+                                     " has no transition row");
+    }
+    if (emission_.FindRow(s) == nullptr) {
+      return Status::InvalidArgument("state " + std::to_string(s) +
+                                     " has no emission row");
+    }
+  }
+  for (const Cpt::Row& row : transition_.rows()) {
+    for (const Cpt::RowEntry& e : row.entries) {
+      if (e.dst >= num_states_) {
+        return Status::InvalidArgument("transition to unknown state");
+      }
+    }
+  }
+  for (const Cpt::Row& row : emission_.rows()) {
+    for (const Cpt::RowEntry& e : row.entries) {
+      if (e.dst >= num_symbols_) {
+        return Status::InvalidArgument("emission of unknown symbol");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+uint32_t Hmm::SampleRow(const Cpt::Row& row, Rng* rng) const {
+  double u = rng->NextDouble();
+  double acc = 0;
+  for (const Cpt::RowEntry& e : row.entries) {
+    acc += e.prob;
+    if (u < acc) return e.dst;
+  }
+  return row.entries.back().dst;
+}
+
+Status Hmm::Sample(uint64_t length, Rng* rng, std::vector<uint32_t>* states,
+                   std::vector<uint32_t>* observations) const {
+  if (length == 0) return Status::InvalidArgument("length must be >= 1");
+  states->clear();
+  states->reserve(length);
+  // Draw the initial state.
+  double u = rng->NextDouble();
+  double acc = 0;
+  uint32_t state = initial_.entries().back().value;
+  for (const Distribution::Entry& e : initial_.entries()) {
+    acc += e.prob;
+    if (u < acc) {
+      state = e.value;
+      break;
+    }
+  }
+  states->push_back(state);
+  for (uint64_t t = 1; t < length; ++t) {
+    const Cpt::Row* row = transition_.FindRow(state);
+    if (row == nullptr || row->entries.empty()) {
+      return Status::FailedPrecondition("state " + std::to_string(state) +
+                                        " has no transition row");
+    }
+    state = SampleRow(*row, rng);
+    states->push_back(state);
+  }
+  return EmitObservations(*states, rng, observations);
+}
+
+Status Hmm::EmitObservations(const std::vector<uint32_t>& states, Rng* rng,
+                             std::vector<uint32_t>* observations) const {
+  observations->clear();
+  observations->reserve(states.size());
+  for (uint32_t state : states) {
+    const Cpt::Row* row = emission_.FindRow(state);
+    if (row == nullptr || row->entries.empty()) {
+      return Status::FailedPrecondition("state " + std::to_string(state) +
+                                        " has no emission row");
+    }
+    observations->push_back(SampleRow(*row, rng));
+  }
+  return Status::Ok();
+}
+
+}  // namespace caldera

@@ -1,0 +1,32 @@
+#ifndef CALDERA_HMM_PARTICLE_SMOOTHER_H_
+#define CALDERA_HMM_PARTICLE_SMOOTHER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hmm/hmm.h"
+#include "markov/stream.h"
+
+namespace caldera {
+
+/// Options for sample-based (particle) smoothing.
+struct ParticleSmootherOptions {
+  /// Particles in the forward filter.
+  size_t num_particles = 1024;
+  /// Trajectories drawn by backward simulation; marginals and CPTs are
+  /// estimated by counting over these (Figure 2 of the paper).
+  size_t num_trajectories = 512;
+  uint64_t seed = 42;
+};
+
+/// Sample-based smoothing (forward filtering / backward simulation): the
+/// inference style illustrated in Figure 2 of the paper. Produces a
+/// Markovian stream whose marginals and CPTs are trajectory counts — and
+/// are therefore exactly self-consistent by construction.
+Result<MarkovianStream> ParticleSmoothToMarkovianStream(
+    const Hmm& hmm, const std::vector<uint32_t>& observations,
+    StreamSchema schema, const ParticleSmootherOptions& options = {});
+
+}  // namespace caldera
+
+#endif  // CALDERA_HMM_PARTICLE_SMOOTHER_H_

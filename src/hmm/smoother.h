@@ -1,0 +1,36 @@
+#ifndef CALDERA_HMM_SMOOTHER_H_
+#define CALDERA_HMM_SMOOTHER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hmm/hmm.h"
+#include "markov/stream.h"
+
+namespace caldera {
+
+/// Options for forward-backward smoothing.
+struct SmootherOptions {
+  /// Marginal entries below this are dropped from each timestep's support.
+  /// Mirrors the finite particle count of sample-based inference (the
+  /// paper's smoothing pipeline): exact Bayesian smoothing yields full
+  /// supports and therefore data density 1.0 everywhere, which is neither
+  /// realistic nor index-friendly. 0 disables truncation.
+  double truncate_eps = 1e-3;
+};
+
+/// Exact Bayesian (forward-backward) smoothing: turns an HMM and an
+/// observation sequence into a Markovian stream with per-timestep smoothed
+/// marginals P(X_t | o_1..o_T) and pairwise conditionals
+/// P(X_t | X_{t-1}, o_1..o_T) (Section 2.1).
+///
+/// After truncation, marginals are *recomputed* by propagating the initial
+/// truncated marginal through the truncated CPTs, so the resulting stream
+/// exactly satisfies MarkovianStream::Validate.
+Result<MarkovianStream> SmoothToMarkovianStream(
+    const Hmm& hmm, const std::vector<uint32_t>& observations,
+    StreamSchema schema, const SmootherOptions& options = {});
+
+}  // namespace caldera
+
+#endif  // CALDERA_HMM_SMOOTHER_H_

@@ -1,0 +1,30 @@
+#ifndef CALDERA_HMM_VITERBI_H_
+#define CALDERA_HMM_VITERBI_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hmm/hmm.h"
+
+namespace caldera {
+
+/// Result of Viterbi decoding.
+struct ViterbiResult {
+  /// The maximum a-posteriori hidden trajectory.
+  std::vector<uint32_t> states;
+  /// log P(states, observations) under the model.
+  double log_probability = 0.0;
+};
+
+/// Viterbi decoding: the single most likely hidden trajectory explaining an
+/// observation sequence. Complements the smoothers: where
+/// SmoothToMarkovianStream yields per-timestep *distributions* (what
+/// Caldera archives and queries), Viterbi yields one hard trajectory — the
+/// deterministic-cleaning baseline the paper's related work contrasts
+/// against, useful for diagnostics and simulator validation.
+Result<ViterbiResult> ViterbiDecode(const Hmm& hmm,
+                                    const std::vector<uint32_t>& observations);
+
+}  // namespace caldera
+
+#endif  // CALDERA_HMM_VITERBI_H_

@@ -1,0 +1,209 @@
+#include "index/btc_index.h"
+
+#include <algorithm>
+
+#include "common/encoding.h"
+#include "common/logging.h"
+
+namespace caldera {
+
+std::string EncodeBtcKey(uint32_t value, uint64_t time) {
+  std::string key;
+  key.reserve(kBtcKeySize);
+  EncodeU32(value, &key);
+  EncodeU64(time, &key);
+  return key;
+}
+
+void DecodeBtcKey(std::string_view key, uint32_t* value, uint64_t* time) {
+  CALDERA_DCHECK(key.size() == kBtcKeySize);
+  *value = DecodeU32(key.data());
+  *time = DecodeU64(key.data() + 4);
+}
+
+namespace {
+
+struct IndexEntry {
+  uint32_t value;
+  uint64_t time;
+  double prob;
+};
+
+// Aggregates a timestep's state marginal into per-attribute-value masses
+// (Section 3.4.1: tuples sharing a timestamp are disjoint, so predicate /
+// attribute-value probabilities are sums).
+void AppendAttributeEntries(const Distribution& marginal,
+                            const StreamSchema& schema, size_t attr,
+                            uint64_t t, std::vector<IndexEntry>* out) {
+  // Collect (attr value, prob) pairs; values of a sorted state list are not
+  // sorted per attribute, so aggregate via a small sorted buffer.
+  std::vector<std::pair<uint32_t, double>> local;
+  local.reserve(marginal.support_size());
+  for (const Distribution::Entry& e : marginal.entries()) {
+    local.emplace_back(schema.AttributeValue(e.value, attr), e.prob);
+  }
+  // Stable sort on the attribute value only: summation stays in state-id
+  // order, so rebuilt probabilities are bit-identical to any other code
+  // (e.g. the verifier) that accumulates in state order.
+  std::stable_sort(local.begin(), local.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (size_t i = 0; i < local.size();) {
+    double sum = 0;
+    size_t j = i;
+    while (j < local.size() && local[j].first == local[i].first) {
+      sum += local[j].second;
+      ++j;
+    }
+    out->push_back({local[i].first, t, sum});
+    i = j;
+  }
+}
+
+Result<std::unique_ptr<BTree>> BuildFromEntries(
+    std::vector<IndexEntry> entries, const std::string& path,
+    uint32_t page_size) {
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              if (a.value != b.value) return a.value < b.value;
+              return a.time < b.time;
+            });
+  BTreeOptions options;
+  options.key_size = kBtcKeySize;
+  options.value_size = kBtcValueSize;
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<BTreeBuilder> builder,
+                           BTreeBuilder::Create(path, options, page_size));
+  std::string value_buf;
+  for (const IndexEntry& e : entries) {
+    value_buf.clear();
+    PutDouble(e.prob, &value_buf);
+    CALDERA_RETURN_IF_ERROR(
+        builder->Add(EncodeBtcKey(e.value, e.time), value_buf));
+  }
+  return std::move(*builder).Finish();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BTree>> BuildBtcIndex(const MarkovianStream& stream,
+                                             size_t attr,
+                                             const std::string& path,
+                                             uint32_t page_size) {
+  if (attr >= stream.schema().num_attributes()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  std::vector<IndexEntry> entries;
+  for (uint64_t t = 0; t < stream.length(); ++t) {
+    AppendAttributeEntries(stream.marginal(t), stream.schema(), attr, t,
+                           &entries);
+  }
+  return BuildFromEntries(std::move(entries), path, page_size);
+}
+
+Result<std::unique_ptr<BTree>> BuildBtcIndexFromStored(
+    StoredStream* stream, size_t attr, const std::string& path,
+    uint32_t page_size) {
+  if (attr >= stream->schema().num_attributes()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  std::vector<IndexEntry> entries;
+  Distribution marginal;
+  for (uint64_t t = 0; t < stream->length(); ++t) {
+    CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(t, &marginal));
+    AppendAttributeEntries(marginal, stream->schema(), attr, t, &entries);
+  }
+  return BuildFromEntries(std::move(entries), path, page_size);
+}
+
+Result<PredicateCursor> PredicateCursor::Create(BTree* tree,
+                                                std::vector<uint32_t> values) {
+  if (tree->options().key_size != kBtcKeySize) {
+    return Status::InvalidArgument("tree is not a BT_C index");
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  PredicateCursor cursor(tree);
+  cursor.heads_.reserve(values.size());
+  for (uint32_t v : values) {
+    Head head;
+    head.value = v;
+    CALDERA_ASSIGN_OR_RETURN(head.cursor, tree->Seek(EncodeBtcKey(v, 0)));
+    cursor.heads_.push_back(std::move(head));
+    cursor.LoadHead(cursor.heads_.size() - 1);
+    if (cursor.heads_.size() > 0 && !cursor.heads_.back().cursor.valid() &&
+        cursor.heads_.back().time == UINT64_MAX) {
+      cursor.heads_.pop_back();
+    }
+  }
+  cursor.RecomputeMin();
+  return cursor;
+}
+
+void PredicateCursor::LoadHead(size_t i) {
+  Head& head = heads_[i];
+  if (!head.cursor.valid()) {
+    head.time = UINT64_MAX;
+    return;
+  }
+  uint32_t value;
+  uint64_t time;
+  DecodeBtcKey(head.cursor.key(), &value, &time);
+  if (value != head.value) {
+    // Ran off the end of this value's run.
+    head.time = UINT64_MAX;
+    return;
+  }
+  head.time = time;
+  head.prob = GetDouble(head.cursor.value().data());
+}
+
+void PredicateCursor::RecomputeMin() {
+  // Drop exhausted heads and find the minimum time.
+  heads_.erase(std::remove_if(heads_.begin(), heads_.end(),
+                              [](const Head& h) { return h.time == UINT64_MAX; }),
+               heads_.end());
+  min_time_ = UINT64_MAX;
+  for (const Head& h : heads_) min_time_ = std::min(min_time_, h.time);
+}
+
+uint64_t PredicateCursor::time() const {
+  CALDERA_DCHECK(valid());
+  return min_time_;
+}
+
+double PredicateCursor::prob() const {
+  CALDERA_DCHECK(valid());
+  double sum = 0;
+  for (const Head& h : heads_) {
+    if (h.time == min_time_) sum += h.prob;
+  }
+  return sum;
+}
+
+Status PredicateCursor::Next() {
+  CALDERA_DCHECK(valid());
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (heads_[i].time == min_time_) {
+      CALDERA_RETURN_IF_ERROR(heads_[i].cursor.Next());
+      LoadHead(i);
+    }
+  }
+  RecomputeMin();
+  return Status::Ok();
+}
+
+Status PredicateCursor::SeekTime(uint64_t t) {
+  if (!valid() || min_time_ >= t) return Status::Ok();
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (heads_[i].time < t) {
+      CALDERA_ASSIGN_OR_RETURN(heads_[i].cursor,
+                               tree_->Seek(EncodeBtcKey(heads_[i].value, t)));
+      LoadHead(i);
+    }
+  }
+  RecomputeMin();
+  return Status::Ok();
+}
+
+}  // namespace caldera

@@ -1,0 +1,93 @@
+#ifndef CALDERA_INDEX_BTC_INDEX_H_
+#define CALDERA_INDEX_BTC_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "markov/stream.h"
+#include "markov/stream_io.h"
+
+namespace caldera {
+
+// BT_C — the chronological secondary index of Section 3.1.
+//
+// One BT_C indexes one stream attribute. Entries:
+//   key   = (attribute value : u32 big-endian, time : u64 big-endian)
+//   value = marginal probability of that attribute value at that time (f64)
+// A timestep appears once per attribute value in its marginal support, so a
+// cursor over a predicate's values visits exactly the timesteps where the
+// predicate has nonzero probability.
+
+inline constexpr uint32_t kBtcKeySize = 12;
+inline constexpr uint32_t kBtcValueSize = 8;
+
+/// Encodes a BT_C key.
+std::string EncodeBtcKey(uint32_t value, uint64_t time);
+
+/// Decodes a BT_C key into (value, time).
+void DecodeBtcKey(std::string_view key, uint32_t* value, uint64_t* time);
+
+/// Builds a BT_C index over attribute `attr` of an in-memory stream.
+Result<std::unique_ptr<BTree>> BuildBtcIndex(
+    const MarkovianStream& stream, size_t attr, const std::string& path,
+    uint32_t page_size = kDefaultPageSize);
+
+/// Builds a BT_C index over attribute `attr` of an archived stream
+/// (streaming, one timestep at a time).
+Result<std::unique_ptr<BTree>> BuildBtcIndexFromStored(
+    StoredStream* stream, size_t attr, const std::string& path,
+    uint32_t page_size = kDefaultPageSize);
+
+/// Iterates, in strictly increasing time order, the timesteps at which ANY
+/// of a set of attribute values has nonzero marginal probability — i.e. the
+/// timesteps relevant to one predicate. Implemented as a k-way merge of the
+/// per-value runs of a BT_C tree.
+class PredicateCursor {
+ public:
+  /// `values` are the attribute values matched by the predicate.
+  static Result<PredicateCursor> Create(BTree* tree,
+                                        std::vector<uint32_t> values);
+
+  bool valid() const { return !heads_.empty(); }
+
+  /// Current timestep.
+  uint64_t time() const;
+
+  /// Predicate marginal probability at the current timestep (sum over the
+  /// predicate's values present at this time).
+  double prob() const;
+
+  /// Advances to the next relevant timestep (strictly greater time).
+  Status Next();
+
+  /// Advances to the first relevant timestep with time >= t (no-op if
+  /// already there).
+  Status SeekTime(uint64_t t);
+
+ private:
+  struct Head {
+    uint32_t value;
+    uint64_t time;
+    double prob;
+    BTree::Cursor cursor;
+  };
+
+  explicit PredicateCursor(BTree* tree) : tree_(tree) {}
+
+  /// Refreshes head `i` from its B+ tree cursor; drops it when its value
+  /// run is exhausted.
+  void LoadHead(size_t i);
+  void RecomputeMin();
+
+  BTree* tree_;
+  std::vector<Head> heads_;
+  uint64_t min_time_ = 0;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_INDEX_BTC_INDEX_H_

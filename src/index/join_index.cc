@@ -1,0 +1,180 @@
+#include "index/join_index.h"
+
+#include <algorithm>
+
+#include "common/encoding.h"
+#include "storage/file.h"
+
+namespace caldera {
+
+namespace {
+constexpr char kJoinMagic[8] = {'C', 'L', 'D', 'R', 'J', 'I', 'X', '1'};
+
+struct TimeEntry {
+  uint32_t id;
+  uint64_t time;
+  double prob;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<JoinIndex>> JoinIndex::Build(
+    const MarkovianStream& stream, const DimensionTable& table,
+    const std::string& column, const std::string& path_prefix,
+    uint32_t page_size) {
+  const size_t attr = table.key_attribute();
+  if (attr >= stream.schema().num_attributes()) {
+    return Status::InvalidArgument("dimension key attribute out of range");
+  }
+  CALDERA_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           table.DistinctValues(column));
+
+  // Map each attribute value to its dense dimension-value id.
+  const uint32_t domain = stream.schema().domain_size(attr);
+  std::vector<uint32_t> dim_id_of(domain, 0);
+  for (uint32_t v = 0; v < domain; ++v) {
+    CALDERA_ASSIGN_OR_RETURN(std::string cv, table.ColumnValue(column, v));
+    auto it = std::find(names.begin(), names.end(), cv);
+    dim_id_of[v] = static_cast<uint32_t>(it - names.begin());
+  }
+
+  // Aggregate per-timestep probabilities per dimension value.
+  std::vector<TimeEntry> entries;
+  std::vector<double> scratch(names.size(), 0.0);
+  for (uint64_t t = 0; t < stream.length(); ++t) {
+    for (const Distribution::Entry& e : stream.marginal(t).entries()) {
+      uint32_t av = stream.schema().AttributeValue(e.value, attr);
+      scratch[dim_id_of[av]] += e.prob;
+    }
+    for (size_t id = 0; id < scratch.size(); ++id) {
+      if (scratch[id] > 0.0) {
+        entries.push_back({static_cast<uint32_t>(id), t,
+                           std::min(scratch[id], 1.0)});
+        scratch[id] = 0.0;
+      }
+    }
+  }
+
+  auto index = std::unique_ptr<JoinIndex>(new JoinIndex());
+  index->column_ = column;
+  index->value_names_ = names;
+
+  // Time-keyed tree.
+  {
+    std::sort(entries.begin(), entries.end(),
+              [](const TimeEntry& a, const TimeEntry& b) {
+                if (a.id != b.id) return a.id < b.id;
+                return a.time < b.time;
+              });
+    BTreeOptions options{kBtcKeySize, kBtcValueSize};
+    CALDERA_ASSIGN_OR_RETURN(
+        std::unique_ptr<BTreeBuilder> builder,
+        BTreeBuilder::Create(path_prefix + ".time.bt", options, page_size));
+    std::string value_buf;
+    for (const TimeEntry& e : entries) {
+      value_buf.clear();
+      PutDouble(e.prob, &value_buf);
+      CALDERA_RETURN_IF_ERROR(
+          builder->Add(EncodeBtcKey(e.id, e.time), value_buf));
+    }
+    CALDERA_ASSIGN_OR_RETURN(index->time_tree_, builder->Finish());
+  }
+
+  // Probability-keyed tree.
+  {
+    std::vector<std::string> keys;
+    keys.reserve(entries.size());
+    for (const TimeEntry& e : entries) {
+      keys.push_back(EncodeBtpKey(e.id, e.prob, e.time));
+    }
+    std::sort(keys.begin(), keys.end());
+    BTreeOptions options{kBtpKeySize, kBtpValueSize};
+    CALDERA_ASSIGN_OR_RETURN(
+        std::unique_ptr<BTreeBuilder> builder,
+        BTreeBuilder::Create(path_prefix + ".prob.bt", options, page_size));
+    for (const std::string& key : keys) {
+      CALDERA_RETURN_IF_ERROR(builder->Add(key, {}));
+    }
+    CALDERA_ASSIGN_OR_RETURN(index->prob_tree_, builder->Finish());
+  }
+
+  // Metadata: column name + dimension value names.
+  std::string meta(kJoinMagic, 8);
+  PutLengthPrefixed(column, &meta);
+  PutFixed32(static_cast<uint32_t>(names.size()), &meta);
+  for (const std::string& name : names) PutLengthPrefixed(name, &meta);
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                           File::OpenOrCreate(path_prefix + ".meta"));
+  CALDERA_RETURN_IF_ERROR(f->Truncate(0));
+  CALDERA_RETURN_IF_ERROR(f->Append(meta));
+  CALDERA_RETURN_IF_ERROR(f->Sync());
+  return index;
+}
+
+Result<std::unique_ptr<JoinIndex>> JoinIndex::Open(
+    const std::string& path_prefix, size_t pool_pages) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                           File::OpenReadOnly(path_prefix + ".meta"));
+  std::string meta(f->size(), '\0');
+  CALDERA_RETURN_IF_ERROR(f->ReadAt(0, meta.size(), meta.data()));
+  if (meta.size() < 8 || meta.compare(0, 8, kJoinMagic, 8) != 0) {
+    return Status::Corruption("bad join-index meta at " + path_prefix);
+  }
+  auto index = std::unique_ptr<JoinIndex>(new JoinIndex());
+  size_t offset = 8;
+  std::string_view column;
+  if (!GetLengthPrefixed(meta, &offset, &column)) {
+    return Status::Corruption("truncated join-index meta");
+  }
+  index->column_ = std::string(column);
+  if (offset + 4 > meta.size()) {
+    return Status::Corruption("truncated join-index meta");
+  }
+  uint32_t count = GetFixed32(meta.data() + offset);
+  offset += 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view name;
+    if (!GetLengthPrefixed(meta, &offset, &name)) {
+      return Status::Corruption("truncated join-index meta");
+    }
+    index->value_names_.emplace_back(name);
+  }
+  CALDERA_ASSIGN_OR_RETURN(index->time_tree_,
+                           BTree::Open(path_prefix + ".time.bt", pool_pages));
+  CALDERA_ASSIGN_OR_RETURN(index->prob_tree_,
+                           BTree::Open(path_prefix + ".prob.bt", pool_pages));
+  return index;
+}
+
+Result<uint32_t> JoinIndex::IdOf(const std::string& column_value) const {
+  auto it = std::find(value_names_.begin(), value_names_.end(), column_value);
+  if (it == value_names_.end()) {
+    return Status::NotFound("join index has no value '" + column_value + "'");
+  }
+  return static_cast<uint32_t>(it - value_names_.begin());
+}
+
+Result<PredicateCursor> JoinIndex::TimeCursor(
+    const std::string& column_value) {
+  CALDERA_ASSIGN_OR_RETURN(uint32_t id, IdOf(column_value));
+  return PredicateCursor::Create(time_tree_.get(), {id});
+}
+
+Result<TopProbCursor> JoinIndex::ProbCursor(const std::string& column_value) {
+  CALDERA_ASSIGN_OR_RETURN(uint32_t id, IdOf(column_value));
+  return TopProbCursor::Create(prob_tree_.get(), {id});
+}
+
+BufferPoolStats JoinIndex::stats() const {
+  BufferPoolStats total;
+  total += time_tree_->stats();
+  total += prob_tree_->stats();
+  return total;
+}
+
+void JoinIndex::ResetStats() {
+  time_tree_->ResetStats();
+  prob_tree_->ResetStats();
+}
+
+}  // namespace caldera

@@ -1,0 +1,66 @@
+#ifndef CALDERA_INDEX_JOIN_INDEX_H_
+#define CALDERA_INDEX_JOIN_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "index/btc_index.h"
+#include "index/btp_index.h"
+#include "markov/stream.h"
+#include "query/predicate.h"
+
+namespace caldera {
+
+/// A star-schema join index (Section 3.4.1): conceptually the stream joined
+/// with a dimension table and indexed on a dimension column. Physically, a
+/// BT_C-shaped tree keyed by (dense dimension-value id, time) — so queries
+/// like "When was Bob in *a* coffee room?" position one cursor instead of
+/// one per location.
+///
+/// Both key forms of the paper are supported: (D.a, M.time) via
+/// TimeCursor() and (D.a, M.prob) via ProbCursor().
+class JoinIndex {
+ public:
+  /// Builds both trees for `column` of `table` over attribute
+  /// `table->key_attribute()` of `stream`. Files are created at
+  /// `path_prefix` + ".time.bt" / ".prob.bt" / ".meta".
+  static Result<std::unique_ptr<JoinIndex>> Build(
+      const MarkovianStream& stream, const DimensionTable& table,
+      const std::string& column, const std::string& path_prefix,
+      uint32_t page_size = kDefaultPageSize);
+
+  /// Reopens a previously built join index.
+  static Result<std::unique_ptr<JoinIndex>> Open(
+      const std::string& path_prefix, size_t pool_pages = 64);
+
+  /// Chronological cursor over the timesteps where `column_value` has
+  /// nonzero probability.
+  Result<PredicateCursor> TimeCursor(const std::string& column_value);
+
+  /// Decreasing-probability cursor for `column_value`.
+  Result<TopProbCursor> ProbCursor(const std::string& column_value);
+
+  /// Dense id of a column value; NotFound if never seen at build time.
+  Result<uint32_t> IdOf(const std::string& column_value) const;
+
+  const std::string& column() const { return column_; }
+  uint64_t num_entries() const { return time_tree_->num_entries(); }
+  BufferPoolStats stats() const;
+  void ResetStats();
+
+ private:
+  JoinIndex() = default;
+
+  std::string column_;
+  std::vector<std::string> value_names_;  // id -> column value.
+  std::unique_ptr<BTree> time_tree_;
+  std::unique_ptr<BTree> prob_tree_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_INDEX_JOIN_INDEX_H_

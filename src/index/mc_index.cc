@@ -1,0 +1,225 @@
+#include "index/mc_index.h"
+
+#include <algorithm>
+
+#include "common/encoding.h"
+#include "common/logging.h"
+#include "storage/file.h"
+
+namespace caldera {
+
+namespace {
+constexpr char kMcMagic[8] = {'C', 'L', 'D', 'R', 'M', 'C', 'I', '1'};
+
+std::string LevelPath(const std::string& dir, uint32_t level) {
+  return dir + "/L" + std::to_string(level) + ".rec";
+}
+
+void TruncateCptRows(Cpt* cpt, double eps) {
+  if (eps <= 0) return;
+  Cpt out;
+  for (const Cpt::Row& row : cpt->rows()) {
+    std::vector<Cpt::RowEntry> kept;
+    kept.reserve(row.entries.size());
+    for (const Cpt::RowEntry& e : row.entries) {
+      if (e.prob >= eps) kept.push_back(e);
+    }
+    if (!kept.empty()) out.SetRow(row.src, std::move(kept));
+  }
+  *cpt = std::move(out);
+}
+
+}  // namespace
+
+Status McIndex::Build(const MarkovianStream& stream, const std::string& dir,
+                      const McIndexOptions& options) {
+  if (options.alpha < 2) {
+    return Status::InvalidArgument("MC index alpha must be >= 2");
+  }
+  if (stream.length() < 2) {
+    return Status::InvalidArgument("stream too short for an MC index");
+  }
+  CALDERA_RETURN_IF_ERROR(CreateDirectories(dir));
+
+  const uint64_t num_transitions = stream.length() - 1;
+  const uint32_t domain = stream.schema().state_count();
+  uint64_t max_span = options.max_span == 0
+                          ? num_transitions
+                          : std::min(options.max_span, num_transitions);
+
+  // Level 1 entries composed from raw transitions; level i from level i-1.
+  // `prev` holds the previous level's entries in memory (halving each
+  // level, so peak memory is ~2x level 1).
+  std::vector<Cpt> prev;
+  std::vector<uint64_t> level_counts;
+  uint32_t level = 1;
+  uint64_t span = options.alpha;
+  std::string record;
+  while (span <= max_span) {
+    uint64_t count = num_transitions / span;
+    if (count == 0) break;
+    std::vector<Cpt> current;
+    current.reserve(count);
+    CALDERA_ASSIGN_OR_RETURN(
+        std::unique_ptr<RecordFileWriter> writer,
+        RecordFileWriter::Create(LevelPath(dir, level), options.page_size));
+    for (uint64_t k = 0; k < count; ++k) {
+      Cpt entry;
+      if (level == 1) {
+        // Compose raw transitions k*alpha+1 .. (k+1)*alpha.
+        entry = stream.transition(k * span + 1);
+        for (uint64_t s = 2; s <= span; ++s) {
+          entry = ComposeCpts(entry, stream.transition(k * span + s), domain);
+        }
+      } else {
+        entry = prev[k * options.alpha];
+        for (uint32_t j = 1; j < options.alpha; ++j) {
+          entry = ComposeCpts(entry, prev[k * options.alpha + j], domain);
+        }
+      }
+      TruncateCptRows(&entry, options.truncate_eps);
+      record.clear();
+      entry.AppendTo(&record);
+      CALDERA_RETURN_IF_ERROR(writer->Append(record).status());
+      current.push_back(std::move(entry));
+    }
+    CALDERA_RETURN_IF_ERROR(writer->Finalize());
+    level_counts.push_back(count);
+    prev = std::move(current);
+    ++level;
+    span *= options.alpha;
+  }
+
+  // Metadata.
+  std::string meta(kMcMagic, 8);
+  PutFixed32(options.alpha, &meta);
+  PutFixed32(static_cast<uint32_t>(level_counts.size()), &meta);
+  PutFixed64(stream.length(), &meta);
+  PutFixed32(domain, &meta);
+  for (uint64_t count : level_counts) PutFixed64(count, &meta);
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                           File::OpenOrCreate(dir + "/mc.meta"));
+  CALDERA_RETURN_IF_ERROR(f->Truncate(0));
+  CALDERA_RETURN_IF_ERROR(f->Append(meta));
+  return f->Sync();
+}
+
+Result<std::unique_ptr<McIndex>> McIndex::Open(const std::string& dir,
+                                               TransitionSource transitions,
+                                               size_t pool_pages) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                           File::OpenReadOnly(dir + "/mc.meta"));
+  std::string meta(f->size(), '\0');
+  CALDERA_RETURN_IF_ERROR(f->ReadAt(0, meta.size(), meta.data()));
+  if (meta.size() < 28 || meta.compare(0, 8, kMcMagic, 8) != 0) {
+    return Status::Corruption("bad MC index meta in " + dir);
+  }
+  auto index = std::unique_ptr<McIndex>(new McIndex());
+  index->dir_ = dir;
+  index->alpha_ = GetFixed32(meta.data() + 8);
+  uint32_t num_levels = GetFixed32(meta.data() + 12);
+  index->stream_length_ = GetFixed64(meta.data() + 16);
+  index->domain_size_ = GetFixed32(meta.data() + 24);
+  index->transitions_ = std::move(transitions);
+  if (index->alpha_ < 2) return Status::Corruption("bad MC alpha");
+
+  index->levels_.resize(num_levels + 1);  // [0] unused (raw stream).
+  index->level_spans_.resize(num_levels + 1);
+  index->level_spans_[0] = 1;
+  uint64_t span = 1;
+  for (uint32_t level = 1; level <= num_levels; ++level) {
+    span *= index->alpha_;
+    index->level_spans_[level] = span;
+    CALDERA_ASSIGN_OR_RETURN(
+        index->levels_[level],
+        RecordFileReader::Open(LevelPath(dir, level), pool_pages));
+  }
+  return index;
+}
+
+Status McIndex::SetMinLevel(uint32_t level) {
+  if (level < 1 || level > levels_.size()) {
+    return Status::InvalidArgument("min level must be in [1, num_levels+1]");
+  }
+  min_level_ = level;
+  return Status::Ok();
+}
+
+Status McIndex::FetchEntry(uint32_t level, uint64_t block, Cpt* out) {
+  ++entry_fetches_;
+  CALDERA_RETURN_IF_ERROR(levels_[level]->Get(block, &scratch_));
+  size_t offset = 0;
+  CALDERA_ASSIGN_OR_RETURN(*out, Cpt::Parse(scratch_, &offset));
+  return Status::Ok();
+}
+
+Status McIndex::ComputeCpt(uint64_t from, uint64_t to, Cpt* out) {
+  if (from >= to || to >= stream_length_) {
+    return Status::InvalidArgument("ComputeCpt requires from < to < length");
+  }
+  bool have_result = false;
+  Cpt result;
+  Cpt block;
+  uint64_t cur = from;
+  const uint32_t max_level = static_cast<uint32_t>(levels_.size()) - 1;
+  while (cur < to) {
+    // Pick the largest stored level whose aligned block fits in [cur, to);
+    // fall back to a raw transition when none (or below min_level_) does.
+    uint32_t chosen = 0;
+    for (uint32_t level = max_level; level >= min_level_ && level >= 1;
+         --level) {
+      uint64_t span = level_spans_[level];
+      if (cur % span == 0 && cur + span <= to &&
+          cur / span < levels_[level]->num_records()) {
+        chosen = level;
+        break;
+      }
+    }
+    if (chosen == 0) {
+      ++raw_fetches_;
+      CALDERA_RETURN_IF_ERROR(transitions_(cur + 1, &block));
+      cur += 1;
+    } else {
+      CALDERA_RETURN_IF_ERROR(
+          FetchEntry(chosen, cur / level_spans_[chosen], &block));
+      cur += level_spans_[chosen];
+    }
+    if (!have_result) {
+      result = std::move(block);
+      have_result = true;
+    } else {
+      ++compositions_;
+      result = ComposeCpts(result, block, domain_size_);
+    }
+  }
+  *out = std::move(result);
+  return Status::Ok();
+}
+
+uint64_t McIndex::StoredBytes() const {
+  uint64_t total = 0;
+  for (uint32_t level = std::max(1u, min_level_); level < levels_.size();
+       ++level) {
+    total += levels_[level]->data_bytes();
+  }
+  return total;
+}
+
+void McIndex::ResetStats() {
+  entry_fetches_ = 0;
+  raw_fetches_ = 0;
+  compositions_ = 0;
+  for (auto& reader : levels_) {
+    if (reader != nullptr) reader->ResetStats();
+  }
+}
+
+BufferPoolStats McIndex::IoStats() const {
+  BufferPoolStats total;
+  for (const auto& reader : levels_) {
+    if (reader != nullptr) total += reader->stats();
+  }
+  return total;
+}
+
+}  // namespace caldera

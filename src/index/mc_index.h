@@ -1,0 +1,145 @@
+#ifndef CALDERA_INDEX_MC_INDEX_H_
+#define CALDERA_INDEX_MC_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/cpt.h"
+#include "markov/stream.h"
+#include "markov/stream_io.h"
+#include "storage/record_file.h"
+
+namespace caldera {
+
+/// Options for building a Markov-chain index (Section 3.3.1).
+struct McIndexOptions {
+  /// Branching factor: level i stores CPT products spanning alpha^i steps.
+  /// Larger alpha = less storage, more multiplications per lookup.
+  uint32_t alpha = 2;
+
+  /// Largest span materialized (caps the level count; spans beyond this are
+  /// covered by chaining top-level entries). 0 = up to the stream length.
+  uint64_t max_span = 0;
+
+  /// Entries with probability below this are dropped (and rows left
+  /// sub-stochastic). 0 = exact index. A small epsilon trades exactness for
+  /// much smaller high-level (near-dense) entries.
+  double truncate_eps = 0.0;
+
+  uint32_t page_size = kDefaultPageSize;
+};
+
+/// Source of raw (level-0) transitions: returns the CPT *into* timestep t.
+/// Usually bound to StoredStream::ReadTransition.
+using TransitionSource = std::function<Status(uint64_t t, Cpt* out)>;
+
+/// Wraps a transition source so every CPT it yields is restricted to
+/// destinations satisfying `matcher` — the level-0 counterpart of
+/// McIndex::BuildConditioned.
+template <typename Matcher>
+TransitionSource ConditionSource(TransitionSource source, Matcher matcher) {
+  return [source = std::move(source), matcher = std::move(matcher)](
+             uint64_t t, Cpt* out) -> Status {
+    CALDERA_RETURN_IF_ERROR(source(t, out));
+    *out = out->ConditionDestination(matcher);
+    return Status::Ok();
+  };
+}
+
+/// The Markov-chain index: a tree of precomputed CPT products that yields
+/// the conditional probability table relating ANY two stream timesteps in
+/// O(2 log_alpha(gap)) lookups instead of a full scan (Figure 7).
+///
+/// Level i (i >= 1) holds floor((T-1)/alpha^i) entries; entry k spans
+/// timesteps [k*alpha^i, (k+1)*alpha^i]. Level 0 is the raw stream itself
+/// and is never duplicated.
+class McIndex {
+ public:
+  /// Builds the index for `stream` into directory `dir` (one record file
+  /// per level plus a metadata file).
+  static Status Build(const MarkovianStream& stream, const std::string& dir,
+                      const McIndexOptions& options = {});
+
+  /// Builds a *predicate-conditioned* MC index (Section 3.3.2): every raw
+  /// CPT is first restricted to destinations satisfying `matcher`, so a
+  /// composed entry spanning (a, b] is the sub-stochastic table
+  ///   P(X_b = y AND X_t in P for all t in (a, b] | X_a = x).
+  /// This summarizes stream intervals that continuously satisfy a positive
+  /// Kleene loop predicate (e.g. O2 in Q(H2, (O2*, O2))), which the plain
+  /// index cannot skip. Open such an index with a ConditionSource-wrapped
+  /// transition source so level-0 residues are conditioned identically.
+  template <typename Matcher>
+  static Status BuildConditioned(const MarkovianStream& stream,
+                                 const std::string& dir,
+                                 const McIndexOptions& options,
+                                 const Matcher& matcher) {
+    MarkovianStream conditioned = stream;
+    for (uint64_t t = 1; t < conditioned.length(); ++t) {
+      *conditioned.mutable_transition(t) =
+          stream.transition(t).ConditionDestination(matcher);
+    }
+    return Build(conditioned, dir, options);
+  }
+
+  /// Opens a previously built index. `transitions` supplies level-0 CPTs
+  /// for spans the stored levels cannot cover.
+  static Result<std::unique_ptr<McIndex>> Open(const std::string& dir,
+                                               TransitionSource transitions,
+                                               size_t pool_pages = 64);
+
+  /// Computes CPT(from -> to), i.e. the product of the per-step transitions
+  /// into from+1 .. to. Requires from < to.
+  Status ComputeCpt(uint64_t from, uint64_t to, Cpt* out);
+
+  /// Restricts lookups to levels >= `level` (level-0 residues still come
+  /// from the raw stream). Models the paper's "omit lower index levels"
+  /// experiment (Figure 11(a)); also lowers effective storage.
+  Status SetMinLevel(uint32_t level);
+
+  uint32_t alpha() const { return alpha_; }
+  /// Number of stored levels (level 0, the raw stream, is not counted).
+  uint32_t num_levels() const {
+    return static_cast<uint32_t>(levels_.size()) - 1;
+  }
+  uint64_t stream_length() const { return stream_length_; }
+  uint32_t min_level() const { return min_level_; }
+
+  /// Bytes of CPT payload stored at levels >= min_level.
+  uint64_t StoredBytes() const;
+
+  /// Count of index-entry fetches (any level >= 1) since ResetStats.
+  uint64_t entry_fetches() const { return entry_fetches_; }
+  /// Count of raw (level-0) transition fetches since ResetStats.
+  uint64_t raw_fetches() const { return raw_fetches_; }
+  /// Count of CPT compositions since ResetStats.
+  uint64_t compositions() const { return compositions_; }
+  void ResetStats();
+
+  BufferPoolStats IoStats() const;
+
+ private:
+  McIndex() = default;
+
+  Status FetchEntry(uint32_t level, uint64_t block, Cpt* out);
+
+  std::string dir_;
+  uint32_t alpha_ = 2;
+  uint64_t stream_length_ = 0;
+  uint32_t domain_size_ = 0;
+  uint32_t min_level_ = 1;
+  TransitionSource transitions_;
+  std::vector<std::unique_ptr<RecordFileReader>> levels_;  // [0] unused.
+  std::vector<uint64_t> level_spans_;  // alpha^i per level.
+  uint64_t entry_fetches_ = 0;
+  uint64_t raw_fetches_ = 0;
+  uint64_t compositions_ = 0;
+  std::string scratch_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_INDEX_MC_INDEX_H_

@@ -1,0 +1,182 @@
+#include "markov/cpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/encoding.h"
+
+namespace caldera {
+
+void Cpt::SetRow(ValueId src, std::vector<RowEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const RowEntry& a, const RowEntry& b) { return a.dst < b.dst; });
+  // Merge duplicate destinations.
+  std::vector<RowEntry> merged;
+  merged.reserve(entries.size());
+  for (const RowEntry& e : entries) {
+    if (!merged.empty() && merged.back().dst == e.dst) {
+      merged.back().prob += e.prob;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), src,
+      [](const Row& r, ValueId v) { return r.src < v; });
+  if (it != rows_.end() && it->src == src) {
+    it->entries = std::move(merged);
+  } else {
+    rows_.insert(it, Row{src, std::move(merged)});
+  }
+}
+
+const Cpt::Row* Cpt::FindRow(ValueId src) const {
+  auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), src,
+      [](const Row& r, ValueId v) { return r.src < v; });
+  if (it != rows_.end() && it->src == src) return &*it;
+  return nullptr;
+}
+
+double Cpt::Probability(ValueId src, ValueId dst) const {
+  const Row* row = FindRow(src);
+  if (row == nullptr) return 0.0;
+  auto it = std::lower_bound(
+      row->entries.begin(), row->entries.end(), dst,
+      [](const RowEntry& e, ValueId v) { return e.dst < v; });
+  if (it != row->entries.end() && it->dst == dst) return it->prob;
+  return 0.0;
+}
+
+Distribution Cpt::Propagate(const Distribution& in) const {
+  std::vector<Distribution::Entry> out;
+  // Accumulate sparsely: gather contributions, then merge via FromPairs.
+  for (const Distribution::Entry& e : in.entries()) {
+    const Row* row = FindRow(e.value);
+    if (row == nullptr) continue;
+    for (const RowEntry& t : row->entries) {
+      out.push_back({t.dst, e.prob * t.prob});
+    }
+  }
+  return Distribution::FromPairs(std::move(out));
+}
+
+Status Cpt::ValidateStochastic(double tol) const {
+  for (const Row& row : rows_) {
+    double mass = 0;
+    for (const RowEntry& e : row.entries) {
+      if (e.prob < 0) {
+        return Status::Corruption("negative CPT entry for src " +
+                                  std::to_string(row.src));
+      }
+      mass += e.prob;
+    }
+    if (std::fabs(mass - 1.0) > tol) {
+      return Status::Corruption("CPT row for src " + std::to_string(row.src) +
+                                " sums to " + std::to_string(mass));
+    }
+  }
+  return Status::Ok();
+}
+
+size_t Cpt::nnz() const {
+  size_t n = 0;
+  for (const Row& row : rows_) n += row.entries.size();
+  return n;
+}
+
+size_t Cpt::ByteSize() const {
+  return 4 + rows_.size() * 8 + nnz() * 12;
+}
+
+void Cpt::AppendTo(std::string* out) const {
+  PutFixed32(static_cast<uint32_t>(rows_.size()), out);
+  for (const Row& row : rows_) {
+    PutFixed32(row.src, out);
+    PutFixed32(static_cast<uint32_t>(row.entries.size()), out);
+    for (const RowEntry& e : row.entries) {
+      PutFixed32(e.dst, out);
+      PutDouble(e.prob, out);
+    }
+  }
+}
+
+Result<Cpt> Cpt::Parse(std::string_view data, size_t* offset) {
+  if (*offset + 4 > data.size()) return Status::Corruption("truncated CPT");
+  uint32_t num_rows = GetFixed32(data.data() + *offset);
+  *offset += 4;
+  // Each row needs at least 8 header bytes; reject absurd counts before
+  // reserving memory for them.
+  if (*offset + static_cast<uint64_t>(num_rows) * 8 > data.size()) {
+    return Status::Corruption("CPT row count exceeds available bytes");
+  }
+  Cpt cpt;
+  cpt.rows_.reserve(num_rows);
+  ValueId prev_src = 0;
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    if (*offset + 8 > data.size()) {
+      return Status::Corruption("truncated CPT row header");
+    }
+    ValueId src = GetFixed32(data.data() + *offset);
+    uint32_t count = GetFixed32(data.data() + *offset + 4);
+    *offset += 8;
+    if (i > 0 && src <= prev_src) {
+      return Status::Corruption("CPT rows out of order");
+    }
+    prev_src = src;
+    if (*offset + count * 12ull > data.size()) {
+      return Status::Corruption("truncated CPT row entries");
+    }
+    Row row;
+    row.src = src;
+    row.entries.reserve(count);
+    ValueId prev_dst = 0;
+    for (uint32_t j = 0; j < count; ++j) {
+      ValueId dst = GetFixed32(data.data() + *offset);
+      double prob = GetDouble(data.data() + *offset + 4);
+      *offset += 12;
+      if (j > 0 && dst <= prev_dst) {
+        return Status::Corruption("CPT row entries out of order");
+      }
+      prev_dst = dst;
+      row.entries.push_back({dst, prob});
+    }
+    cpt.rows_.push_back(std::move(row));
+  }
+  return cpt;
+}
+
+Cpt ComposeCpts(const Cpt& first, const Cpt& second, uint32_t domain_size) {
+  Cpt out;
+  std::vector<double> scratch(domain_size, 0.0);
+  std::vector<ValueId> touched;
+  for (const Cpt::Row& row : first.rows()) {
+    touched.clear();
+    for (const Cpt::RowEntry& mid : row.entries) {
+      const Cpt::Row* second_row = second.FindRow(mid.dst);
+      if (second_row == nullptr) continue;
+      for (const Cpt::RowEntry& e : second_row->entries) {
+        if (scratch[e.dst] == 0.0) touched.push_back(e.dst);
+        scratch[e.dst] += mid.prob * e.prob;
+      }
+    }
+    if (touched.empty()) continue;
+    std::sort(touched.begin(), touched.end());
+    std::vector<Cpt::RowEntry> entries;
+    entries.reserve(touched.size());
+    for (ValueId dst : touched) {
+      entries.push_back({dst, scratch[dst]});
+      scratch[dst] = 0.0;
+    }
+    out.SetRow(row.src, std::move(entries));
+  }
+  return out;
+}
+
+Cpt IdentityCpt(const std::vector<ValueId>& support) {
+  Cpt out;
+  for (ValueId v : support) out.SetRow(v, {{v, 1.0}});
+  return out;
+}
+
+}  // namespace caldera

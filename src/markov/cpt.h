@@ -1,0 +1,105 @@
+#ifndef CALDERA_MARKOV_CPT_H_
+#define CALDERA_MARKOV_CPT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/distribution.h"
+
+namespace caldera {
+
+/// A conditional probability table (CPT): the sparse stochastic matrix
+/// relating consecutive (or, via the MC index, distant) Markovian stream
+/// timesteps. Row `src` holds P(X_next = dst | X_prev = src).
+///
+/// Rows are stored sparsely and sorted by source id; each row's entries are
+/// sorted by destination id. Sources outside the previous timestep's support
+/// need no row.
+class Cpt {
+ public:
+  struct RowEntry {
+    ValueId dst;
+    double prob;
+
+    bool operator==(const RowEntry&) const = default;
+  };
+  struct Row {
+    ValueId src;
+    std::vector<RowEntry> entries;
+
+    bool operator==(const Row&) const = default;
+  };
+
+  Cpt() = default;
+
+  /// Sets the row for `src`; entries need not be sorted. Replaces any
+  /// existing row.
+  void SetRow(ValueId src, std::vector<RowEntry> entries);
+
+  /// Returns the row for `src`, or nullptr.
+  const Row* FindRow(ValueId src) const;
+
+  /// P(dst | src); 0 if the pair is absent.
+  double Probability(ValueId src, ValueId dst) const;
+
+  /// Propagates a (possibly sub-stochastic) distribution through this CPT:
+  /// out[y] = sum_x in[x] * P(y|x). Mass on sources without a row is
+  /// dropped (those sources are outside the stream's support).
+  Distribution Propagate(const Distribution& in) const;
+
+  /// Verifies every row sums to 1 within `tol`.
+  Status ValidateStochastic(double tol = 1e-6) const;
+
+  /// Keeps only transition entries whose destination satisfies `matcher`,
+  /// producing the sub-stochastic matrix used by predicate-conditioned MC
+  /// indexes (Section 3.3.2): P(X_next = dst AND dst in P | src).
+  template <typename Matcher>
+  Cpt ConditionDestination(const Matcher& matcher) const {
+    Cpt out;
+    out.rows_.reserve(rows_.size());
+    for (const Row& row : rows_) {
+      std::vector<RowEntry> kept;
+      for (const RowEntry& e : row.entries) {
+        if (matcher(e.dst)) kept.push_back(e);
+      }
+      if (!kept.empty()) out.rows_.push_back({row.src, std::move(kept)});
+    }
+    return out;
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  /// Total number of nonzero transition entries.
+  size_t nnz() const;
+
+  /// Approximate in-memory/on-disk footprint in bytes.
+  size_t ByteSize() const;
+
+  bool operator==(const Cpt&) const = default;
+
+  // Binary serialization:
+  //   u32 num_rows, then per row: u32 src, u32 count, count*(u32 dst,f64 p).
+  void AppendTo(std::string* out) const;
+  static Result<Cpt> Parse(std::string_view data, size_t* offset);
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Chain-rule composition (Section 3.3.1): given `first` = CPT(a -> m) and
+/// `second` = CPT(m -> b), returns CPT(a -> b) with
+/// P(z|x) = sum_y first(y|x) * second(z|y).
+/// `domain_size` bounds the destination ids (dense scratch space).
+Cpt ComposeCpts(const Cpt& first, const Cpt& second, uint32_t domain_size);
+
+/// The identity CPT on the given support (used as the composition seed).
+Cpt IdentityCpt(const std::vector<ValueId>& support);
+
+}  // namespace caldera
+
+#endif  // CALDERA_MARKOV_CPT_H_

@@ -1,0 +1,116 @@
+#include "markov/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/encoding.h"
+
+namespace caldera {
+
+Distribution Distribution::FromPairs(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.value < b.value; });
+  Distribution d;
+  for (const Entry& e : entries) {
+    if (!d.entries_.empty() && d.entries_.back().value == e.value) {
+      d.entries_.back().prob += e.prob;
+    } else {
+      d.entries_.push_back(e);
+    }
+  }
+  return d;
+}
+
+Distribution Distribution::FromDense(const std::vector<double>& probs) {
+  Distribution d;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] != 0.0) {
+      d.entries_.push_back({static_cast<ValueId>(i), probs[i]});
+    }
+  }
+  return d;
+}
+
+Distribution Distribution::Point(ValueId value) {
+  Distribution d;
+  d.entries_.push_back({value, 1.0});
+  return d;
+}
+
+void Distribution::Add(ValueId value, double prob) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), value,
+      [](const Entry& e, ValueId v) { return e.value < v; });
+  if (it != entries_.end() && it->value == value) {
+    it->prob += prob;
+  } else {
+    entries_.insert(it, {value, prob});
+  }
+}
+
+double Distribution::ProbabilityOf(ValueId value) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), value,
+      [](const Entry& e, ValueId v) { return e.value < v; });
+  if (it != entries_.end() && it->value == value) return it->prob;
+  return 0.0;
+}
+
+double Distribution::Mass() const {
+  double total = 0;
+  for (const Entry& e : entries_) total += e.prob;
+  return total;
+}
+
+void Distribution::Normalize() {
+  double mass = Mass();
+  if (mass <= 0) return;
+  for (Entry& e : entries_) e.prob /= mass;
+}
+
+void Distribution::Truncate(double eps) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [eps](const Entry& e) { return e.prob < eps; }),
+                 entries_.end());
+  Normalize();
+}
+
+bool Distribution::IsNormalized(double tol) const {
+  return std::fabs(Mass() - 1.0) <= tol;
+}
+
+void Distribution::AppendTo(std::string* out) const {
+  PutFixed32(static_cast<uint32_t>(entries_.size()), out);
+  for (const Entry& e : entries_) {
+    PutFixed32(e.value, out);
+    PutDouble(e.prob, out);
+  }
+}
+
+Result<Distribution> Distribution::Parse(std::string_view data,
+                                         size_t* offset) {
+  if (*offset + 4 > data.size()) {
+    return Status::Corruption("truncated distribution header");
+  }
+  uint32_t count = GetFixed32(data.data() + *offset);
+  *offset += 4;
+  if (*offset + count * 12ull > data.size()) {
+    return Status::Corruption("truncated distribution entries");
+  }
+  Distribution d;
+  d.entries_.reserve(count);
+  ValueId prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    ValueId value = GetFixed32(data.data() + *offset);
+    double prob = GetDouble(data.data() + *offset + 4);
+    *offset += 12;
+    if (i > 0 && value <= prev) {
+      return Status::Corruption("distribution entries out of order");
+    }
+    prev = value;
+    d.entries_.push_back({value, prob});
+  }
+  return d;
+}
+
+}  // namespace caldera

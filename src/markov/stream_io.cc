@@ -1,0 +1,210 @@
+#include "markov/stream_io.h"
+
+#include "common/encoding.h"
+#include "storage/file.h"
+
+namespace caldera {
+
+namespace {
+constexpr char kMetaMagic[8] = {'C', 'L', 'D', 'R', 'M', 'K', 'V', '1'};
+constexpr const char* kMetaFile = "meta.bin";
+constexpr const char* kMarginalsFile = "marginals.rec";
+constexpr const char* kCptsFile = "cpts.rec";
+constexpr const char* kCombinedFile = "stream.rec";
+}  // namespace
+
+const char* DiskLayoutName(DiskLayout layout) {
+  switch (layout) {
+    case DiskLayout::kSeparated:
+      return "separated";
+    case DiskLayout::kCoClustered:
+      return "co-clustered";
+  }
+  return "unknown";
+}
+
+Status WriteStream(const std::string& dir, const MarkovianStream& stream,
+                   DiskLayout layout, uint32_t page_size) {
+  CALDERA_RETURN_IF_ERROR(CreateDirectories(dir));
+
+  // Metadata.
+  std::string meta(kMetaMagic, 8);
+  meta.push_back(static_cast<char>(layout));
+  PutFixed64(stream.length(), &meta);
+  stream.schema().AppendTo(&meta);
+  {
+    CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                             File::OpenOrCreate(dir + "/" + kMetaFile));
+    CALDERA_RETURN_IF_ERROR(f->Truncate(0));
+    CALDERA_RETURN_IF_ERROR(f->Append(meta));
+    CALDERA_RETURN_IF_ERROR(f->Sync());
+  }
+
+  std::string record;
+  if (layout == DiskLayout::kSeparated) {
+    CALDERA_ASSIGN_OR_RETURN(
+        std::unique_ptr<RecordFileWriter> marginals,
+        RecordFileWriter::Create(dir + "/" + kMarginalsFile, page_size));
+    CALDERA_ASSIGN_OR_RETURN(
+        std::unique_ptr<RecordFileWriter> cpts,
+        RecordFileWriter::Create(dir + "/" + kCptsFile, page_size));
+    for (uint64_t t = 0; t < stream.length(); ++t) {
+      record.clear();
+      stream.marginal(t).AppendTo(&record);
+      CALDERA_RETURN_IF_ERROR(marginals->Append(record).status());
+      record.clear();
+      stream.transition(t).AppendTo(&record);
+      CALDERA_RETURN_IF_ERROR(cpts->Append(record).status());
+    }
+    CALDERA_RETURN_IF_ERROR(marginals->Finalize());
+    CALDERA_RETURN_IF_ERROR(cpts->Finalize());
+    return Status::Ok();
+  }
+
+  CALDERA_ASSIGN_OR_RETURN(
+      std::unique_ptr<RecordFileWriter> combined,
+      RecordFileWriter::Create(dir + "/" + kCombinedFile, page_size));
+  for (uint64_t t = 0; t < stream.length(); ++t) {
+    record.clear();
+    stream.marginal(t).AppendTo(&record);
+    stream.transition(t).AppendTo(&record);
+    CALDERA_RETURN_IF_ERROR(combined->Append(record).status());
+  }
+  return combined->Finalize();
+}
+
+Result<std::unique_ptr<StoredStream>> StoredStream::Open(
+    const std::string& dir, size_t pool_pages) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> meta_file,
+                           File::OpenReadOnly(dir + "/" + kMetaFile));
+  std::string meta(meta_file->size(), '\0');
+  CALDERA_RETURN_IF_ERROR(meta_file->ReadAt(0, meta.size(), meta.data()));
+  if (meta.size() < 17 || meta.compare(0, 8, kMetaMagic, 8) != 0) {
+    return Status::Corruption("bad stream metadata in " + dir);
+  }
+  auto layout = static_cast<DiskLayout>(meta[8]);
+  if (layout != DiskLayout::kSeparated && layout != DiskLayout::kCoClustered) {
+    return Status::Corruption("bad layout byte in " + dir);
+  }
+  uint64_t length = GetFixed64(meta.data() + 9);
+  size_t offset = 17;
+  CALDERA_ASSIGN_OR_RETURN(StreamSchema schema,
+                           StreamSchema::Parse(meta, &offset));
+
+  auto stream = std::unique_ptr<StoredStream>(
+      new StoredStream(dir, layout, length, std::move(schema)));
+  if (layout == DiskLayout::kSeparated) {
+    CALDERA_ASSIGN_OR_RETURN(
+        stream->marginals_,
+        RecordFileReader::Open(dir + "/" + kMarginalsFile, pool_pages));
+    CALDERA_ASSIGN_OR_RETURN(
+        stream->cpts_,
+        RecordFileReader::Open(dir + "/" + kCptsFile, pool_pages));
+    if (stream->marginals_->num_records() != length ||
+        stream->cpts_->num_records() != length) {
+      return Status::Corruption("record count mismatch in " + dir);
+    }
+  } else {
+    CALDERA_ASSIGN_OR_RETURN(
+        stream->combined_,
+        RecordFileReader::Open(dir + "/" + kCombinedFile, pool_pages));
+    if (stream->combined_->num_records() != length) {
+      return Status::Corruption("record count mismatch in " + dir);
+    }
+  }
+  return stream;
+}
+
+Status StoredStream::ReadCoClustered(uint64_t t, Distribution* marginal,
+                                     Cpt* transition) {
+  CALDERA_RETURN_IF_ERROR(combined_->Get(t, &scratch_));
+  size_t offset = 0;
+  CALDERA_ASSIGN_OR_RETURN(Distribution m,
+                           Distribution::Parse(scratch_, &offset));
+  CALDERA_ASSIGN_OR_RETURN(Cpt c, Cpt::Parse(scratch_, &offset));
+  if (marginal != nullptr) *marginal = std::move(m);
+  if (transition != nullptr) *transition = std::move(c);
+  return Status::Ok();
+}
+
+Status StoredStream::ReadMarginal(uint64_t t, Distribution* out) {
+  if (t >= length_) {
+    return Status::OutOfRange("timestep " + std::to_string(t) +
+                              " >= length " + std::to_string(length_));
+  }
+  if (layout_ == DiskLayout::kCoClustered) {
+    return ReadCoClustered(t, out, nullptr);
+  }
+  CALDERA_RETURN_IF_ERROR(marginals_->Get(t, &scratch_));
+  size_t offset = 0;
+  CALDERA_ASSIGN_OR_RETURN(*out, Distribution::Parse(scratch_, &offset));
+  return Status::Ok();
+}
+
+Status StoredStream::ReadTransition(uint64_t t, Cpt* out) {
+  if (t == 0 || t >= length_) {
+    return Status::OutOfRange("no transition into timestep " +
+                              std::to_string(t));
+  }
+  if (layout_ == DiskLayout::kCoClustered) {
+    return ReadCoClustered(t, nullptr, out);
+  }
+  CALDERA_RETURN_IF_ERROR(cpts_->Get(t, &scratch_));
+  size_t offset = 0;
+  CALDERA_ASSIGN_OR_RETURN(*out, Cpt::Parse(scratch_, &offset));
+  return Status::Ok();
+}
+
+Status StoredStream::ReadTimestep(uint64_t t, Distribution* marginal,
+                                  Cpt* transition) {
+  if (t >= length_) {
+    return Status::OutOfRange("timestep " + std::to_string(t) +
+                              " >= length " + std::to_string(length_));
+  }
+  if (layout_ == DiskLayout::kCoClustered) {
+    return ReadCoClustered(t, marginal, transition);
+  }
+  CALDERA_RETURN_IF_ERROR(ReadMarginal(t, marginal));
+  if (t == 0) {
+    *transition = Cpt();
+    return Status::Ok();
+  }
+  return ReadTransition(t, transition);
+}
+
+uint64_t StoredStream::DataFilePages() const {
+  uint64_t pages = 0;
+  if (marginals_ != nullptr) pages += marginals_->file_pages();
+  if (cpts_ != nullptr) pages += cpts_->file_pages();
+  if (combined_ != nullptr) pages += combined_->file_pages();
+  return pages;
+}
+
+BufferPoolStats StoredStream::IoStats() const {
+  BufferPoolStats total;
+  if (marginals_ != nullptr) total += marginals_->stats();
+  if (cpts_ != nullptr) total += cpts_->stats();
+  if (combined_ != nullptr) total += combined_->stats();
+  return total;
+}
+
+void StoredStream::ResetStats() {
+  if (marginals_ != nullptr) marginals_->ResetStats();
+  if (cpts_ != nullptr) cpts_->ResetStats();
+  if (combined_ != nullptr) combined_->ResetStats();
+}
+
+Result<MarkovianStream> LoadStream(StoredStream* stored) {
+  MarkovianStream stream(stored->schema());
+  Distribution marginal;
+  Cpt transition;
+  for (uint64_t t = 0; t < stored->length(); ++t) {
+    CALDERA_RETURN_IF_ERROR(stored->ReadTimestep(t, &marginal, &transition));
+    stream.Append(std::move(marginal), std::move(transition));
+    marginal = Distribution();
+    transition = Cpt();
+  }
+  return stream;
+}
+
+}  // namespace caldera

@@ -1,0 +1,92 @@
+#ifndef CALDERA_MARKOV_STREAM_IO_H_
+#define CALDERA_MARKOV_STREAM_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "markov/stream.h"
+#include "storage/record_file.h"
+
+namespace caldera {
+
+/// Physical organization of a stream on disk (Section 3.4.2).
+enum class DiskLayout : uint8_t {
+  /// Marginal and CPT sequences in separate files; an access touching only
+  /// one sequence reads fewer pages.
+  kSeparated = 1,
+  /// Marginal+CPT of each timestep co-located in one record; an access
+  /// needing both for a timestep pays one lookup.
+  kCoClustered = 2,
+};
+
+const char* DiskLayoutName(DiskLayout layout);
+
+/// Archives `stream` into directory `dir` using `layout`. Creates
+///   dir/meta.bin                      stream metadata + schema
+///   dir/marginals.rec + dir/cpts.rec  (separated)
+///   dir/stream.rec                    (co-clustered)
+Status WriteStream(const std::string& dir, const MarkovianStream& stream,
+                   DiskLayout layout = DiskLayout::kSeparated,
+                   uint32_t page_size = kDefaultPageSize);
+
+/// Read-only handle to an archived Markovian stream. All reads go through
+/// per-file LRU buffer pools; IoStats() aggregates their counters so access
+/// methods can report page traffic.
+class StoredStream {
+ public:
+  static Result<std::unique_ptr<StoredStream>> Open(const std::string& dir,
+                                                    size_t pool_pages = 256);
+
+  /// Reads the marginal distribution of timestep `t`.
+  Status ReadMarginal(uint64_t t, Distribution* out);
+
+  /// Reads the CPT into timestep `t` (defined for t in [1, length)).
+  Status ReadTransition(uint64_t t, Cpt* out);
+
+  /// Reads both (one record in the co-clustered layout). `transition` is
+  /// left empty for t == 0.
+  Status ReadTimestep(uint64_t t, Distribution* marginal, Cpt* transition);
+
+  uint64_t length() const { return length_; }
+  const StreamSchema& schema() const { return schema_; }
+  DiskLayout layout() const { return layout_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Total on-disk pages across the stream's data files.
+  uint64_t DataFilePages() const;
+
+  BufferPoolStats IoStats() const;
+  void ResetStats();
+
+ private:
+  StoredStream(std::string dir, DiskLayout layout, uint64_t length,
+               StreamSchema schema)
+      : dir_(std::move(dir)),
+        layout_(layout),
+        length_(length),
+        schema_(std::move(schema)) {}
+
+  Status ReadCoClustered(uint64_t t, Distribution* marginal, Cpt* transition);
+
+  std::string dir_;
+  DiskLayout layout_;
+  uint64_t length_;
+  StreamSchema schema_;
+  // Separated layout:
+  std::unique_ptr<RecordFileReader> marginals_;
+  std::unique_ptr<RecordFileReader> cpts_;
+  // Co-clustered layout:
+  std::unique_ptr<RecordFileReader> combined_;
+  std::string scratch_;
+};
+
+/// Loads an entire archived stream back into memory (used for index
+/// building and validation; archived streams are modest by in-memory
+/// standards).
+Result<MarkovianStream> LoadStream(StoredStream* stored);
+
+}  // namespace caldera
+
+#endif  // CALDERA_MARKOV_STREAM_IO_H_

@@ -1,0 +1,137 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+namespace caldera {
+
+Result<Predicate> SchemaResolver::Resolve(std::string_view name) const {
+  // 1. Attribute-domain labels.
+  for (size_t attr = 0; attr < schema_->num_attributes(); ++attr) {
+    Result<uint32_t> value = schema_->ValueOf(attr, name);
+    if (value.ok()) {
+      return Predicate::Equality(attr, *value, std::string(name));
+    }
+  }
+  // 2. Dimension-table columns.
+  for (const auto& [table, column] : dimensions_) {
+    Result<Predicate> pred = table->MakePredicate(column, std::string(name));
+    if (pred.ok()) return pred;
+  }
+  return Status::NotFound("cannot resolve predicate '" + std::string(name) +
+                          "'");
+}
+
+namespace {
+
+/// Minimal recursive-descent parser over the written query syntax.
+class Parser {
+ public:
+  Parser(std::string_view text, const PredicateResolver& resolver)
+      : text_(text), resolver_(resolver) {}
+
+  Result<std::vector<QueryLink>> Parse() {
+    SkipSpace();
+    if (!ConsumeKeyword("Q")) return Err("expected 'Q'");
+    if (!Consume('(')) return Err("expected '('");
+    std::vector<QueryLink> links;
+    for (;;) {
+      SkipSpace();
+      CALDERA_ASSIGN_OR_RETURN(QueryLink link, ParseLink());
+      links.push_back(std::move(link));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(')')) break;
+      return Err("expected ',' or ')'");
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) return Err("trailing characters");
+    if (links.empty()) return Err("empty query");
+    return links;
+  }
+
+ private:
+  Result<QueryLink> ParseLink() {
+    SkipSpace();
+    if (Consume('(')) {
+      // Kleene pair: (loop*, primary).
+      CALDERA_ASSIGN_OR_RETURN(Predicate loop, ParsePredicate());
+      SkipSpace();
+      if (!Consume('*')) return Err("expected '*' after loop predicate");
+      SkipSpace();
+      if (!Consume(',')) return Err("expected ',' in Kleene pair");
+      CALDERA_ASSIGN_OR_RETURN(Predicate primary, ParsePredicate());
+      SkipSpace();
+      if (!Consume(')')) return Err("expected ')' closing Kleene pair");
+      return QueryLink{std::move(loop), std::move(primary)};
+    }
+    CALDERA_ASSIGN_OR_RETURN(Predicate primary, ParsePredicate());
+    return QueryLink{std::nullopt, std::move(primary)};
+  }
+
+  Result<Predicate> ParsePredicate() {
+    SkipSpace();
+    bool negated = Consume('!');
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected predicate name");
+    std::string_view name = text_.substr(start, pos_ - start);
+    CALDERA_ASSIGN_OR_RETURN(Predicate pred, resolver_.Resolve(name));
+    if (negated) {
+      if (!pred.indexable()) {
+        return Err("cannot negate non-indexable predicate");
+      }
+      return Predicate::Not(std::move(pred));
+    }
+    return pred;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) == kw) {
+      pos_ += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("query parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  std::string_view text_;
+  const PredicateResolver& resolver_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegularQuery> ParseQuery(std::string_view text,
+                                const PredicateResolver& resolver,
+                                std::string name) {
+  Parser parser(text, resolver);
+  CALDERA_ASSIGN_OR_RETURN(std::vector<QueryLink> links, parser.Parse());
+  if (name.empty()) name = std::string(text);
+  return RegularQuery(std::move(name), std::move(links));
+}
+
+}  // namespace caldera

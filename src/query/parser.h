@@ -1,0 +1,50 @@
+#ifndef CALDERA_QUERY_PARSER_H_
+#define CALDERA_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// Resolves bare predicate identifiers in query text to Predicates.
+class PredicateResolver {
+ public:
+  virtual ~PredicateResolver() = default;
+  virtual Result<Predicate> Resolve(std::string_view name) const = 0;
+};
+
+/// Resolver that tries, in order:
+///   1. attribute-domain labels ("Office300" -> equality on that attribute),
+///   2. dimension-table column values ("CoffeeRoom" -> set predicate over
+///      all locations whose type column is CoffeeRoom).
+class SchemaResolver : public PredicateResolver {
+ public:
+  explicit SchemaResolver(const StreamSchema* schema) : schema_(schema) {}
+
+  /// Registers a dimension table column for identifier resolution.
+  void AddDimension(const DimensionTable* table, std::string column) {
+    dimensions_.emplace_back(table, std::move(column));
+  }
+
+  Result<Predicate> Resolve(std::string_view name) const override;
+
+ private:
+  const StreamSchema* schema_;
+  std::vector<std::pair<const DimensionTable*, std::string>> dimensions_;
+};
+
+/// Parses the paper's written query syntax (Figure 3), e.g.
+///   Q(Hallway, Office300)                      -- fixed-length
+///   Q(Hallway, (!CoffeeRoom*, CoffeeRoom))     -- variable-length
+/// Kleene links are parenthesized pairs "(loop*, primary)"; `!` negates.
+Result<RegularQuery> ParseQuery(std::string_view text,
+                                const PredicateResolver& resolver,
+                                std::string name = "");
+
+}  // namespace caldera
+
+#endif  // CALDERA_QUERY_PARSER_H_

@@ -1,0 +1,146 @@
+#include "reg/reg_operator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace caldera {
+
+RegOperator::RegOperator(const RegularQuery& query,
+                         const StreamSchema& schema)
+    : automaton_(query, schema) {}
+
+void RegOperator::Reset() {
+  mass_.clear();
+  initialized_ = false;
+  last_prob_ = 0.0;
+  num_updates_ = 0;
+}
+
+double RegOperator::ApplyAtoms(
+    std::vector<std::pair<int, Distribution>> propagated) {
+  // Route every (state, value) mass through the DFA transition for the
+  // value's atom, then merge distributions landing in the same DFA state.
+  std::vector<std::pair<int, std::vector<Distribution::Entry>>> buckets;
+  auto bucket_for = [&buckets](int dfa) -> std::vector<Distribution::Entry>& {
+    for (auto& [id, entries] : buckets) {
+      if (id == dfa) return entries;
+    }
+    buckets.emplace_back(dfa, std::vector<Distribution::Entry>{});
+    return buckets.back().second;
+  };
+
+  for (auto& [dfa, dist] : propagated) {
+    for (const Distribution::Entry& e : dist.entries()) {
+      if (e.prob == 0.0) continue;
+      int next = automaton_.Transition(dfa, automaton_.AtomOf(e.value));
+      bucket_for(next).push_back(e);
+    }
+  }
+
+  mass_.clear();
+  double accept = 0.0;
+  for (auto& [dfa, entries] : buckets) {
+    Distribution dist = Distribution::FromPairs(std::move(entries));
+    if (automaton_.IsAccepting(dfa)) accept += dist.Mass();
+    mass_.emplace_back(dfa, std::move(dist));
+  }
+  std::sort(mass_.begin(), mass_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return accept;
+}
+
+void RegOperator::CollapseNull() {
+  std::vector<std::pair<int, Distribution>> collapsed;
+  for (auto& [dfa, dist] : mass_) {
+    int next = automaton_.NullTransition(dfa);
+    auto it = std::find_if(collapsed.begin(), collapsed.end(),
+                           [next](const auto& p) { return p.first == next; });
+    if (it == collapsed.end()) {
+      collapsed.emplace_back(next, std::move(dist));
+    } else {
+      // Merge the two distributions.
+      std::vector<Distribution::Entry> entries = it->second.entries();
+      const auto& more = dist.entries();
+      entries.insert(entries.end(), more.begin(), more.end());
+      it->second = Distribution::FromPairs(std::move(entries));
+    }
+  }
+  std::sort(collapsed.begin(), collapsed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  mass_ = std::move(collapsed);
+}
+
+double RegOperator::Initialize(const Distribution& marginal) {
+  CALDERA_CHECK(!initialized_) << "Reg operator already initialized";
+  initialized_ = true;
+  ++num_updates_;
+  std::vector<std::pair<int, Distribution>> seed;
+  seed.emplace_back(automaton_.start_state(), marginal);
+  last_prob_ = ApplyAtoms(std::move(seed));
+  return last_prob_;
+}
+
+double RegOperator::Update(const Cpt& transition) {
+  CALDERA_CHECK(initialized_) << "Reg operator not initialized";
+  ++num_updates_;
+  std::vector<std::pair<int, Distribution>> propagated;
+  propagated.reserve(mass_.size());
+  for (auto& [dfa, dist] : mass_) {
+    propagated.emplace_back(dfa, transition.Propagate(dist));
+  }
+  last_prob_ = ApplyAtoms(std::move(propagated));
+  return last_prob_;
+}
+
+double RegOperator::UpdateSpanning(const Cpt& span, uint64_t gap) {
+  CALDERA_CHECK(initialized_) << "Reg operator not initialized";
+  CALDERA_CHECK(gap >= 1);
+  ++num_updates_;
+  // Interior timesteps (gap - 1 of them) all read as the null atom; the
+  // null transition is idempotent and commutes with value propagation, so
+  // a single collapse is exact.
+  if (gap >= 2) CollapseNull();
+  std::vector<std::pair<int, Distribution>> propagated;
+  propagated.reserve(mass_.size());
+  for (auto& [dfa, dist] : mass_) {
+    propagated.emplace_back(dfa, span.Propagate(dist));
+  }
+  last_prob_ = ApplyAtoms(std::move(propagated));
+  return last_prob_;
+}
+
+double RegOperator::UpdateIndependent(const Distribution& marginal) {
+  CALDERA_CHECK(initialized_) << "Reg operator not initialized";
+  ++num_updates_;
+  CollapseNull();
+  std::vector<std::pair<int, Distribution>> propagated;
+  propagated.reserve(mass_.size());
+  for (auto& [dfa, dist] : mass_) {
+    double scale = dist.Mass();
+    if (scale == 0.0) continue;
+    std::vector<Distribution::Entry> entries;
+    entries.reserve(marginal.support_size());
+    for (const Distribution::Entry& e : marginal.entries()) {
+      entries.push_back({e.value, e.prob * scale});
+    }
+    propagated.emplace_back(dfa, Distribution::FromPairs(std::move(entries)));
+  }
+  last_prob_ = ApplyAtoms(std::move(propagated));
+  return last_prob_;
+}
+
+std::vector<double> RunRegOverStream(const RegularQuery& query,
+                                     const MarkovianStream& stream) {
+  std::vector<double> signal;
+  signal.reserve(stream.length());
+  if (stream.empty()) return signal;
+  RegOperator reg(query, stream.schema());
+  signal.push_back(reg.Initialize(stream.marginal(0)));
+  for (uint64_t t = 1; t < stream.length(); ++t) {
+    signal.push_back(reg.Update(stream.transition(t)));
+  }
+  return signal;
+}
+
+}  // namespace caldera

@@ -1,0 +1,97 @@
+#ifndef CALDERA_REG_REG_OPERATOR_H_
+#define CALDERA_REG_REG_OPERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/cpt.h"
+#include "markov/distribution.h"
+#include "markov/schema.h"
+#include "markov/stream.h"
+#include "query/nfa.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// The Lahar-style Reg operator (Section 3, Figure 5(a)): consumes a
+/// Markovian stream timestep by timestep and emits, after each step, the
+/// probability that the query is satisfied (a match ends) at that step.
+///
+/// Internally it maintains the joint distribution
+///     mass[d][x] = P(prefix drives the query DFA to state d AND X_t = x)
+/// over (DFA state, stream value) pairs. Because the DFA state is a
+/// deterministic function of the value trajectory, this joint is exact, and
+/// the match probability is the total mass in accepting DFA states.
+///
+/// All five access methods drive the same operator through four entry
+/// points:
+///   Initialize(marginal)        first (or first relevant) timestep
+///   Update(cpt)                 exact adjacent step (scan / B+Tree methods)
+///   UpdateSpanning(cpt, gap)    MC-index step across a skipped span
+///   UpdateIndependent(marginal) semi-independent step across a gap
+class RegOperator {
+ public:
+  RegOperator(const RegularQuery& query, const StreamSchema& schema);
+
+  bool initialized() const { return initialized_; }
+
+  /// Seeds the operator with the marginal of the current timestep and
+  /// returns the match probability at that timestep.
+  double Initialize(const Distribution& marginal);
+
+  /// Advances one timestep using the CPT from the previous timestep; exact.
+  double Update(const Cpt& transition);
+
+  /// Advances across `gap` timesteps (gap >= 1) using a single composed CPT
+  /// spanning them (from the MC index). Exact when the skipped interior
+  /// timesteps carry no mass on any positive query predicate: their symbols
+  /// all read as the null atom, whose DFA transition is idempotent, so one
+  /// application before propagating through the composed CPT suffices.
+  double UpdateSpanning(const Cpt& span, uint64_t gap);
+
+  /// Advances across a gap assuming independence between the previous
+  /// relevant timestep and this one (Algorithm 5). Approximate: correlation
+  /// across the gap is discarded, but the null-atom collapse (which is
+  /// exact) is still applied.
+  double UpdateIndependent(const Distribution& marginal);
+
+  /// Forgets all state.
+  void Reset();
+
+  /// Match probability emitted by the last Initialize/Update* call.
+  double last_probability() const { return last_prob_; }
+
+  /// Number of Update* calls since construction/Reset (the paper's cost
+  /// driver: Reg slows exponentially with query links, so skipped updates
+  /// dominate the speedups).
+  uint64_t num_updates() const { return num_updates_; }
+
+  QueryAutomaton* automaton() { return &automaton_; }
+
+ private:
+  /// Applies the DFA transition on each value's atom to the per-state
+  /// distributions in `propagated`, accumulating into mass_; returns the
+  /// accepting-state mass.
+  double ApplyAtoms(std::vector<std::pair<int, Distribution>> propagated);
+
+  /// Merges states of `mass_` through the null-atom transition.
+  void CollapseNull();
+
+  QueryAutomaton automaton_;
+  // Live DFA states and their value distributions, sorted by DFA id.
+  std::vector<std::pair<int, Distribution>> mass_;
+  bool initialized_ = false;
+  double last_prob_ = 0.0;
+  uint64_t num_updates_ = 0;
+};
+
+/// Convenience: runs a full scan of an in-memory stream and returns the
+/// match probability at every timestep. Reference implementation used by
+/// tests and the example programs.
+std::vector<double> RunRegOverStream(const RegularQuery& query,
+                                     const MarkovianStream& stream);
+
+}  // namespace caldera
+
+#endif  // CALDERA_REG_REG_OPERATOR_H_

@@ -1,0 +1,49 @@
+#include "reg/streaming.h"
+
+namespace caldera {
+
+StreamingQueryProcessor::StreamingQueryProcessor(const RegularQuery& query,
+                                                 const StreamSchema& schema,
+                                                 size_t window)
+    : reg_(query, schema), window_(window) {}
+
+Result<double> StreamingQueryProcessor::Consume(const Distribution& marginal,
+                                                const Cpt& transition) {
+  if (timesteps_ == 0) {
+    if (!transition.empty()) {
+      return Status::InvalidArgument(
+          "the first timestep has no incoming transition");
+    }
+    if (!marginal.IsNormalized(1e-6)) {
+      return Status::InvalidArgument("marginal is not normalized");
+    }
+  } else if (transition.empty()) {
+    return Status::InvalidArgument(
+        "timesteps after the first need a transition CPT");
+  }
+
+  double p = timesteps_ == 0 ? reg_.Initialize(marginal)
+                             : reg_.Update(transition);
+  if (window_ > 0) {
+    recent_.push_back({timesteps_, p});
+    if (recent_.size() > window_) recent_.pop_front();
+  }
+  ++timesteps_;
+  return p;
+}
+
+TimestepProbability StreamingQueryProcessor::WindowPeak() const {
+  TimestepProbability peak{0, 0.0};
+  for (const TimestepProbability& e : recent_) {
+    if (e.prob > peak.prob) peak = e;
+  }
+  return peak;
+}
+
+void StreamingQueryProcessor::Reset() {
+  reg_.Reset();
+  timesteps_ = 0;
+  recent_.clear();
+}
+
+}  // namespace caldera

@@ -1,0 +1,58 @@
+#ifndef CALDERA_REG_STREAMING_H_
+#define CALDERA_REG_STREAMING_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "caldera/access_method.h"
+#include "common/status.h"
+#include "reg/reg_operator.h"
+
+namespace caldera {
+
+/// Lahar-style *real-time* Regular query processing (the predecessor system
+/// the paper builds on): consume a Markovian stream timestep by timestep as
+/// it is produced — e.g. straight out of an online smoother — and emit the
+/// match probability after each step. This is the streaming complement of
+/// Caldera's archived access methods; it necessarily touches every
+/// timestep.
+///
+/// A bounded window of recent results is retained for applications that
+/// need short lookback (e.g. debouncing event detection).
+class StreamingQueryProcessor {
+ public:
+  /// `window` bounds the retained recent results (0 keeps none).
+  StreamingQueryProcessor(const RegularQuery& query,
+                          const StreamSchema& schema, size_t window = 64);
+
+  /// Consumes the next timestep. The first call must carry an empty
+  /// `transition`; subsequent calls the CPT from the previous timestep.
+  /// Returns the match probability at the consumed timestep.
+  Result<double> Consume(const Distribution& marginal, const Cpt& transition);
+
+  /// Timesteps consumed so far.
+  uint64_t timesteps() const { return timesteps_; }
+
+  /// Probability reported for the most recent timestep.
+  double last_probability() const { return reg_.last_probability(); }
+
+  /// The retained (time, probability) window, oldest first.
+  const std::deque<TimestepProbability>& recent() const { return recent_; }
+
+  /// Highest-probability entry currently in the window; time 0 / prob 0
+  /// when the window is empty.
+  TimestepProbability WindowPeak() const;
+
+  /// Forgets all state and starts a fresh stream.
+  void Reset();
+
+ private:
+  RegOperator reg_;
+  size_t window_;
+  uint64_t timesteps_ = 0;
+  std::deque<TimestepProbability> recent_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_REG_STREAMING_H_

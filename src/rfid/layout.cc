@@ -1,0 +1,255 @@
+#include "rfid/layout.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace caldera {
+
+const char* LocationTypeName(LocationType type) {
+  switch (type) {
+    case LocationType::kCorridor:
+      return "Corridor";
+    case LocationType::kOffice:
+      return "Office";
+    case LocationType::kCoffeeRoom:
+      return "CoffeeRoom";
+    case LocationType::kLounge:
+      return "Lounge";
+    case LocationType::kLab:
+      return "Lab";
+    case LocationType::kConferenceRoom:
+      return "ConferenceRoom";
+  }
+  return "Unknown";
+}
+
+uint32_t BuildingLayout::AddLocation(std::string name, LocationType type) {
+  locations_.push_back({std::move(name), type});
+  adjacency_.emplace_back();
+  return static_cast<uint32_t>(locations_.size() - 1);
+}
+
+void BuildingLayout::AddEdge(uint32_t a, uint32_t b) {
+  CALDERA_CHECK(a < locations_.size() && b < locations_.size() && a != b);
+  if (std::find(adjacency_[a].begin(), adjacency_[a].end(), b) ==
+      adjacency_[a].end()) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+}
+
+uint32_t BuildingLayout::AddAntenna(std::string name, uint32_t location,
+                                    double detect_prob) {
+  CALDERA_CHECK(location < locations_.size());
+  antennas_.push_back({std::move(name), location, detect_prob});
+  return static_cast<uint32_t>(antennas_.size() - 1);
+}
+
+Result<uint32_t> BuildingLayout::LocationByName(
+    const std::string& name) const {
+  for (uint32_t i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].name == name) return i;
+  }
+  return Status::NotFound("no location named '" + name + "'");
+}
+
+std::vector<uint32_t> BuildingLayout::LocationsOfType(
+    LocationType type) const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].type == type) out.push_back(i);
+  }
+  return out;
+}
+
+Result<std::vector<uint32_t>> BuildingLayout::ShortestPath(
+    uint32_t from, uint32_t to) const {
+  if (from >= locations_.size() || to >= locations_.size()) {
+    return Status::InvalidArgument("location id out of range");
+  }
+  std::vector<int64_t> parent(locations_.size(), -1);
+  std::deque<uint32_t> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    uint32_t cur = queue.front();
+    queue.pop_front();
+    if (cur == to) break;
+    for (uint32_t next : adjacency_[cur]) {
+      if (parent[next] < 0) {
+        parent[next] = cur;
+        queue.push_back(next);
+      }
+    }
+  }
+  if (parent[to] < 0) {
+    return Status::NotFound("no path between locations");
+  }
+  std::vector<uint32_t> path;
+  for (uint32_t cur = to;; cur = static_cast<uint32_t>(parent[cur])) {
+    path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+StreamSchema BuildingLayout::MakeSchema() const {
+  std::vector<std::string> labels;
+  labels.reserve(locations_.size());
+  for (const Location& l : locations_) labels.push_back(l.name);
+  return SingleAttributeSchema("loc", std::move(labels));
+}
+
+DimensionTable BuildingLayout::MakeTypeDimension() const {
+  DimensionTable table("LocationType", /*key_attribute=*/0);
+  std::vector<std::string> types;
+  types.reserve(locations_.size());
+  for (const Location& l : locations_) {
+    types.push_back(LocationTypeName(l.type));
+  }
+  table.AddColumn("type", std::move(types));
+  return table;
+}
+
+Hmm BuildingLayout::MakeHmm(const HmmParams& params) const {
+  const uint32_t n = num_locations();
+  // Symbol 0 = silence; symbol i+1 = antenna i.
+  Hmm hmm(n, static_cast<uint32_t>(antennas_.size()) + 1);
+
+  // Uniform initial distribution.
+  {
+    std::vector<Distribution::Entry> init;
+    init.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) init.push_back({i, 1.0 / n});
+    hmm.SetInitial(Distribution::FromPairs(std::move(init)));
+  }
+
+  // Transitions: lazy random walk over the adjacency graph, with sticky
+  // rooms and person-specific entry biases.
+  auto bias_of = [&params](uint32_t location) {
+    for (const auto& [loc, weight] : params.entry_bias) {
+      if (loc == location) return weight;
+    }
+    return 1.0;
+  };
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<Cpt::RowEntry> row;
+    if (adjacency_[i].empty()) {
+      row.push_back({i, 1.0});
+    } else {
+      double stay = locations_[i].type == LocationType::kCorridor
+                        ? params.stay_prob
+                        : params.room_stay_prob;
+      double move_mass = 1.0 - stay;
+      double total_weight = 0;
+      for (uint32_t next : adjacency_[i]) total_weight += bias_of(next);
+      row.push_back({i, stay});
+      for (uint32_t next : adjacency_[i]) {
+        row.push_back({next, move_mass * bias_of(next) / total_weight});
+      }
+    }
+    hmm.SetTransitionRow(i, std::move(row));
+  }
+
+  // Emissions: an antenna reads a tag at its own location with
+  // detect_prob, and at adjacent locations with false_read_prob.
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<Cpt::RowEntry> row;
+    double total = 0;
+    for (uint32_t a = 0; a < antennas_.size(); ++a) {
+      const Antenna& antenna = antennas_[a];
+      double p = 0;
+      if (antenna.location == i) {
+        p = antenna.detect_prob;
+      } else if (std::find(adjacency_[i].begin(), adjacency_[i].end(),
+                           antenna.location) != adjacency_[i].end()) {
+        p = params.false_read_prob;
+      }
+      if (p > 0) {
+        row.push_back({a + 1, p});
+        total += p;
+      }
+    }
+    if (total > 0.95) {
+      // Keep at least 5% silence so every state can explain a missed read.
+      for (Cpt::RowEntry& e : row) e.prob *= 0.95 / total;
+      total = 0.95;
+    }
+    row.push_back({0, 1.0 - total});
+    hmm.SetEmissionRow(i, std::move(row));
+  }
+  return hmm;
+}
+
+BuildingLayout BuildingLayout::MakeCorridor(const CorridorSpec& spec) {
+  BuildingLayout layout;
+  std::vector<uint32_t> corridor;
+  for (uint32_t i = 0; i < spec.segments; ++i) {
+    corridor.push_back(
+        layout.AddLocation("H" + std::to_string(i), LocationType::kCorridor));
+    if (i > 0) layout.AddEdge(corridor[i - 1], corridor[i]);
+    layout.AddAntenna("A" + std::to_string(i), corridor[i],
+                      spec.detect_prob);
+  }
+  for (uint32_t i = 0; i < spec.segments; ++i) {
+    for (uint32_t j = 0; j < spec.rooms_per_segment; ++j) {
+      uint32_t room = layout.AddLocation(
+          "Room" + std::to_string(i) + "_" + std::to_string(j),
+          LocationType::kOffice);
+      layout.AddEdge(corridor[i], room);
+    }
+  }
+  return layout;
+}
+
+BuildingLayout BuildingLayout::MakePaperBuilding() {
+  BuildingLayout layout;
+  // Two floors; per floor: 26 corridor segments in a chain, 150 rooms
+  // spread across them (2 floors x 176 = 352 locations), 19 antennas per
+  // floor (38 total), all in corridors.
+  std::vector<uint32_t> stairs;
+  for (uint32_t floor = 0; floor < 2; ++floor) {
+    std::string prefix = "F" + std::to_string(floor + 1) + "_";
+    std::vector<uint32_t> corridor;
+    for (uint32_t i = 0; i < 26; ++i) {
+      corridor.push_back(layout.AddLocation(prefix + "H" + std::to_string(i),
+                                            LocationType::kCorridor));
+      if (i > 0) layout.AddEdge(corridor[i - 1], corridor[i]);
+    }
+    // 19 antennas spaced along the 26 segments.
+    for (uint32_t a = 0; a < 19; ++a) {
+      uint32_t seg = (a * 26) / 19;
+      layout.AddAntenna(prefix + "A" + std::to_string(a), corridor[seg],
+                        0.8);
+    }
+    // 150 rooms: mostly offices, with a few special rooms.
+    for (uint32_t r = 0; r < 150; ++r) {
+      LocationType type = LocationType::kOffice;
+      std::string name;
+      if (r % 50 == 10) {
+        type = LocationType::kCoffeeRoom;
+        name = prefix + "Coffee" + std::to_string(r);
+      } else if (r % 50 == 25) {
+        type = LocationType::kLounge;
+        name = prefix + "Lounge" + std::to_string(r);
+      } else if (r % 50 == 40) {
+        type = LocationType::kConferenceRoom;
+        name = prefix + "Conf" + std::to_string(r);
+      } else if (r % 50 == 45) {
+        type = LocationType::kLab;
+        name = prefix + "Lab" + std::to_string(r);
+      } else {
+        name = prefix + "Office" + std::to_string(r);
+      }
+      uint32_t room = layout.AddLocation(name, type);
+      layout.AddEdge(corridor[(r * 26) / 150], room);
+    }
+    stairs.push_back(corridor[0]);
+  }
+  layout.AddEdge(stairs[0], stairs[1]);
+  return layout;
+}
+
+}  // namespace caldera

@@ -1,0 +1,117 @@
+#ifndef CALDERA_RFID_LAYOUT_H_
+#define CALDERA_RFID_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hmm/hmm.h"
+#include "markov/schema.h"
+#include "query/predicate.h"
+
+namespace caldera {
+
+/// Coarse location categories, mirroring the paper's dimension table
+/// LocationType(locationID, locationType).
+enum class LocationType : uint8_t {
+  kCorridor = 0,
+  kOffice,
+  kCoffeeRoom,
+  kLounge,
+  kLab,
+  kConferenceRoom,
+};
+
+const char* LocationTypeName(LocationType type);
+
+/// The physical substrate of the RFID domain: discretized locations,
+/// walkability edges, and corridor-mounted antennas. Mirrors the paper's
+/// deployment (Section 4.1.2): antennas live only in corridors, so rooms
+/// are never observed directly and smoothing must infer room presence.
+class BuildingLayout {
+ public:
+  struct Location {
+    std::string name;
+    LocationType type;
+  };
+  struct Antenna {
+    std::string name;
+    uint32_t location;
+    double detect_prob;
+  };
+
+  uint32_t AddLocation(std::string name, LocationType type);
+  void AddEdge(uint32_t a, uint32_t b);
+  uint32_t AddAntenna(std::string name, uint32_t location,
+                      double detect_prob);
+
+  uint32_t num_locations() const {
+    return static_cast<uint32_t>(locations_.size());
+  }
+  const Location& location(uint32_t id) const { return locations_[id]; }
+  const std::vector<uint32_t>& neighbors(uint32_t id) const {
+    return adjacency_[id];
+  }
+  const std::vector<Antenna>& antennas() const { return antennas_; }
+
+  Result<uint32_t> LocationByName(const std::string& name) const;
+  std::vector<uint32_t> LocationsOfType(LocationType type) const;
+
+  /// BFS shortest path (inclusive of both endpoints).
+  Result<std::vector<uint32_t>> ShortestPath(uint32_t from, uint32_t to) const;
+
+  /// Single-attribute schema ("loc") whose labels are the location names.
+  StreamSchema MakeSchema() const;
+
+  /// Dimension table LocationType with column "type".
+  DimensionTable MakeTypeDimension() const;
+
+  /// Parameters of the location HMM derived from the layout.
+  struct HmmParams {
+    /// Probability of staying put each second while in a corridor.
+    double stay_prob = 0.6;
+    /// Probability of staying put each second while inside a room (people
+    /// dwell in rooms far longer than in corridors).
+    double room_stay_prob = 0.9;
+    /// Probability that an antenna adjacent to (but not at) the tag's
+    /// location produces a spurious read.
+    double false_read_prob = 0.01;
+    /// Person-specific statistical likelihoods (Section 2.1: "it is more
+    /// likely that Bob will enter his own office"): multiplicative weights
+    /// on transitions INTO the given locations.
+    std::vector<std::pair<uint32_t, double>> entry_bias;
+  };
+
+  /// Builds the location-tracking HMM: states = locations, transitions =
+  /// lazy random walk on the adjacency graph, emissions = antenna
+  /// detections (symbol 0 is silence; symbol i+1 is antenna i).
+  Hmm MakeHmm(const HmmParams& params) const;
+
+  // Factories. -------------------------------------------------------------
+
+  /// A single corridor of `segments` chained corridor cells, each with
+  /// `rooms_per_segment` attached rooms and one antenna. Room j of segment
+  /// i is named "Room<i>_<j>"; corridors are "H<i>".
+  struct CorridorSpec {
+    uint32_t segments = 10;
+    uint32_t rooms_per_segment = 1;
+    double detect_prob = 0.85;
+  };
+  static BuildingLayout MakeCorridor(const CorridorSpec& spec);
+
+  /// A two-floor building patterned on the paper's deployment: ~352
+  /// locations across two floors, 38 corridor antennas, rooms typed as
+  /// offices with a few coffee rooms, lounges, labs and conference rooms.
+  static BuildingLayout MakePaperBuilding();
+
+ private:
+  std::vector<Location> locations_;
+  std::vector<std::vector<uint32_t>> adjacency_;
+  std::vector<Antenna> antennas_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_RFID_LAYOUT_H_

@@ -1,0 +1,46 @@
+#include "rfid/simulator.h"
+
+namespace caldera {
+
+Result<std::vector<uint32_t>> PersonSimulator::SimulateRoutine(
+    uint32_t start, const std::vector<Stop>& stops, double pause_prob) {
+  std::vector<uint32_t> truth{start};
+  uint32_t current = start;
+  for (const Stop& stop : stops) {
+    CALDERA_ASSIGN_OR_RETURN(std::vector<uint32_t> path,
+                             layout_->ShortestPath(current, stop.location));
+    for (size_t i = 1; i < path.size(); ++i) {
+      truth.push_back(path[i]);
+      // Occasional hesitation while walking.
+      while (rng_.NextBool(pause_prob)) truth.push_back(path[i]);
+    }
+    for (uint32_t d = 0; d < stop.dwell; ++d) truth.push_back(stop.location);
+    current = stop.location;
+  }
+  return truth;
+}
+
+std::vector<uint32_t> PersonSimulator::RandomWalk(uint32_t start,
+                                                  uint64_t steps,
+                                                  double stay_prob) {
+  std::vector<uint32_t> truth;
+  truth.reserve(steps);
+  uint32_t current = start;
+  for (uint64_t t = 0; t < steps; ++t) {
+    truth.push_back(current);
+    const std::vector<uint32_t>& next = layout_->neighbors(current);
+    if (!next.empty() && !rng_.NextBool(stay_prob)) {
+      current = next[rng_.NextBelow(next.size())];
+    }
+  }
+  return truth;
+}
+
+Result<std::vector<uint32_t>> PersonSimulator::Observe(
+    const std::vector<uint32_t>& truth, const Hmm& hmm) {
+  std::vector<uint32_t> observations;
+  CALDERA_RETURN_IF_ERROR(hmm.EmitObservations(truth, &rng_, &observations));
+  return observations;
+}
+
+}  // namespace caldera

@@ -1,0 +1,51 @@
+#ifndef CALDERA_RFID_SIMULATOR_H_
+#define CALDERA_RFID_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "rfid/layout.h"
+
+namespace caldera {
+
+/// Simulates a person carrying an RFID tag through a building: scripted
+/// routines (visit these rooms, dwell so long) or random wandering, plus
+/// the noisy antenna observations the deployment would log.
+class PersonSimulator {
+ public:
+  PersonSimulator(const BuildingLayout* layout, uint64_t seed)
+      : layout_(layout), rng_(seed) {}
+
+  /// One stop of a routine: walk to `location`, stay `dwell` timesteps.
+  struct Stop {
+    uint32_t location;
+    uint32_t dwell;
+  };
+
+  /// Ground-truth trajectory: shortest paths between stops, with small
+  /// random pauses while walking (one timestep per location cell).
+  Result<std::vector<uint32_t>> SimulateRoutine(
+      uint32_t start, const std::vector<Stop>& stops,
+      double pause_prob = 0.2);
+
+  /// Ground-truth random walk of `steps` timesteps.
+  std::vector<uint32_t> RandomWalk(uint32_t start, uint64_t steps,
+                                   double stay_prob = 0.5);
+
+  /// Samples the noisy observation sequence for a trajectory using the
+  /// layout's HMM emission model.
+  Result<std::vector<uint32_t>> Observe(const std::vector<uint32_t>& truth,
+                                        const Hmm& hmm);
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  const BuildingLayout* layout_;
+  Rng rng_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_RFID_SIMULATOR_H_

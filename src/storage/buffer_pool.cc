@@ -1,0 +1,171 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace caldera {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = SIZE_MAX;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = SIZE_MAX;
+  }
+}
+
+char* PageHandle::data() {
+  CALDERA_DCHECK(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+const char* PageHandle::data() const {
+  CALDERA_DCHECK(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+PageId PageHandle::page_id() const {
+  CALDERA_DCHECK(valid());
+  return pool_->frames_[frame_].page_id;
+}
+
+void PageHandle::MarkDirty() {
+  CALDERA_DCHECK(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_[i].data = std::make_unique<char[]>(pager_->page_size());
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  Status st = FlushAll();
+  if (!st.ok()) {
+    CALDERA_LOG_ERROR << "BufferPool flush on destruction failed: "
+                      << st.ToString();
+  }
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  CALDERA_DCHECK(f.pin_count > 0);
+  --f.pin_count;
+  if (f.pin_count == 0) {
+    lru_.push_front(frame);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::TouchLru(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+}
+
+Status BufferPool::EvictFrame(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.dirty) {
+    CALDERA_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.get()));
+    ++stats_.pages_written;
+    f.dirty = false;
+  }
+  page_table_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  f.in_use = false;
+  ++stats_.evictions;
+  return Status::Ok();
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all " + std::to_string(capacity_) +
+        " frames pinned");
+  }
+  size_t victim = lru_.back();
+  lru_.pop_back();
+  frames_[victim].in_lru = false;
+  CALDERA_RETURN_IF_ERROR(EvictFrame(victim));
+  return victim;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  ++stats_.fetches;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    size_t frame = it->second;
+    TouchLru(frame);
+    ++frames_[frame].pin_count;
+    return PageHandle(this, frame);
+  }
+  ++stats_.misses;
+  CALDERA_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  Status st = pager_->ReadPage(id, f.data.get());
+  if (!st.ok()) {
+    free_frames_.push_back(frame);
+    return st;
+  }
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_use = true;
+  page_table_[id] = frame;
+  return PageHandle(this, frame);
+}
+
+Result<PageHandle> BufferPool::NewPage() {
+  CALDERA_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  ++stats_.fetches;
+  ++stats_.misses;
+  CALDERA_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, pager_->page_size());
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.in_use = true;
+  page_table_[id] = frame;
+  return PageHandle(this, frame);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.in_use && f.dirty) {
+      CALDERA_RETURN_IF_ERROR(pager_->WritePage(f.page_id, f.data.get()));
+      ++stats_.pages_written;
+      f.dirty = false;
+    }
+  }
+  return pager_->Sync();
+}
+
+}  // namespace caldera

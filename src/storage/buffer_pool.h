@@ -1,0 +1,127 @@
+#ifndef CALDERA_STORAGE_BUFFER_POOL_H_
+#define CALDERA_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace caldera {
+
+/// Counters exposed by every BufferPool. Access methods report these so
+/// experiments can separate CPU cost from (simulated) disk traffic.
+struct BufferPoolStats {
+  uint64_t fetches = 0;      ///< Total page requests.
+  uint64_t hits = 0;         ///< Requests served from cache.
+  uint64_t misses = 0;       ///< Requests that went to the pager.
+  uint64_t evictions = 0;    ///< Pages evicted to make room.
+  uint64_t pages_written = 0;///< Dirty pages flushed to the pager.
+
+  BufferPoolStats& operator+=(const BufferPoolStats& o) {
+    fetches += o.fetches;
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    pages_written += o.pages_written;
+    return *this;
+  }
+};
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageHandle is alive the frame cannot
+/// be evicted. Call MarkDirty() after mutating data().
+class PageHandle {
+ public:
+  PageHandle() : pool_(nullptr), frame_(SIZE_MAX) {}
+  PageHandle(PageHandle&& other) noexcept
+      : pool_(other.pool_), frame_(other.frame_) {
+    other.pool_ = nullptr;
+    other.frame_ = SIZE_MAX;
+  }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  char* data();
+  const char* data() const;
+  PageId page_id() const;
+  void MarkDirty();
+
+  /// Explicitly unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_;
+  size_t frame_;
+};
+
+/// A fixed-capacity LRU page cache in front of a Pager. Single-threaded by
+/// design (Caldera queries are single-threaded; benchmarks run one pool per
+/// stream file).
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames held in memory (>= 1).
+  BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches page `id`, reading it from the pager on a miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page in the pager and returns a pinned handle to its
+  /// (zeroed, dirty) frame.
+  Result<PageHandle> NewPage();
+
+  /// Writes back all dirty pages.
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  size_t capacity() const { return capacity_; }
+  uint32_t page_size() const { return pager_->page_size(); }
+  Pager* pager() { return pager_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;
+    // Position in lru_ when unpinned and resident.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame);
+  void TouchLru(size_t frame);
+  Result<size_t> GrabFrame();
+  Status EvictFrame(size_t frame);
+
+  Pager* pager_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;          // Front = most recently used.
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,119 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace caldera {
+
+namespace {
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+Result<std::unique_ptr<File>> File::OpenOrCreate(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(Errno("fstat", path));
+  }
+  return std::unique_ptr<File>(
+      new File(path, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+Result<std::unique_ptr<File>> File::OpenReadOnly(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError(Errno("open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(Errno("fstat", path));
+  }
+  return std::unique_ptr<File>(
+      new File(path, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status File::ReadAt(uint64_t offset, size_t n, char* buf) const {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, buf + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("pread", path_));
+    }
+    if (r == 0) {
+      return Status::IoError("short read at offset " + std::to_string(offset) +
+                             " (" + std::to_string(done) + "/" +
+                             std::to_string(n) + " bytes) in " + path_);
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Status File::WriteAt(uint64_t offset, std::string_view data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("pwrite", path_));
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (offset + data.size() > size_) size_ = offset + data.size();
+  return Status::Ok();
+}
+
+Status File::Append(std::string_view data) { return WriteAt(size_, data); }
+
+Status File::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IoError(Errno("ftruncate", path_));
+  }
+  size_ = size;
+  return Status::Ok();
+}
+
+Status File::Sync() {
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
+  return Status::Ok();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) return Status::IoError("remove '" + path + "': " + ec.message());
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status CreateDirectories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::IoError("mkdir '" + path + "': " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace caldera

@@ -1,0 +1,70 @@
+#ifndef CALDERA_STORAGE_FILE_H_
+#define CALDERA_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace caldera {
+
+/// Thin RAII wrapper around a POSIX file descriptor providing positional
+/// reads/writes. All Caldera on-disk structures (pager files, record files,
+/// index files) sit on top of this class.
+class File {
+ public:
+  /// Opens (or creates) `path` for reading and writing.
+  static Result<std::unique_ptr<File>> OpenOrCreate(const std::string& path);
+
+  /// Opens an existing file read-only; NotFound if it does not exist.
+  static Result<std::unique_ptr<File>> OpenReadOnly(const std::string& path);
+
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Reads exactly `n` bytes at `offset` into `buf`. Fails with IoError on a
+  /// short read (reading past EOF is an error, not a partial result).
+  Status ReadAt(uint64_t offset, size_t n, char* buf) const;
+
+  /// Writes all of `data` at `offset`, extending the file if needed.
+  Status WriteAt(uint64_t offset, std::string_view data);
+
+  /// Appends `data` at the current logical end of file.
+  Status Append(std::string_view data);
+
+  /// Truncates/extends the file to `size` bytes.
+  Status Truncate(uint64_t size);
+
+  /// Flushes data to stable storage.
+  Status Sync();
+
+  /// Current size in bytes.
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  File(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+/// Removes a file if it exists; OK if missing.
+Status RemoveFileIfExists(const std::string& path);
+
+/// True if `path` exists.
+bool FileExists(const std::string& path);
+
+/// Creates a directory (and parents); OK if it already exists.
+Status CreateDirectories(const std::string& path);
+
+}  // namespace caldera
+
+#endif  // CALDERA_STORAGE_FILE_H_

@@ -1,0 +1,91 @@
+#include "storage/pager.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/encoding.h"
+
+namespace caldera {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'L', 'D', 'R', 'P', 'G', 'R', '1'};
+constexpr size_t kHeaderSize = 8 /*magic*/ + 4 /*page_size*/ + 8 /*pages*/;
+}  // namespace
+
+Result<std::unique_ptr<Pager>> Pager::Create(const std::string& path,
+                                             uint32_t page_size) {
+  if (page_size < 512 || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument("page size must be a power of two >= 512");
+  }
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                           File::OpenOrCreate(path));
+  CALDERA_RETURN_IF_ERROR(file->Truncate(0));
+  auto pager = std::unique_ptr<Pager>(
+      new Pager(std::move(file), page_size, /*page_count=*/1));
+  // Materialize the header page.
+  std::vector<char> zero(page_size, 0);
+  CALDERA_RETURN_IF_ERROR(pager->file_->WriteAt(0, {zero.data(), zero.size()}));
+  CALDERA_RETURN_IF_ERROR(pager->WriteHeader());
+  return pager;
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                           File::OpenOrCreate(path));
+  if (file->size() < kHeaderSize) {
+    return Status::Corruption("pager file too small: " + path);
+  }
+  char header[kHeaderSize];
+  CALDERA_RETURN_IF_ERROR(file->ReadAt(0, kHeaderSize, header));
+  if (std::memcmp(header, kMagic, 8) != 0) {
+    return Status::Corruption("bad pager magic in " + path);
+  }
+  uint32_t page_size = GetFixed32(header + 8);
+  uint64_t page_count = GetFixed64(header + 12);
+  if (page_size < 512 || (page_size & (page_size - 1)) != 0) {
+    return Status::Corruption("bad page size in " + path);
+  }
+  if (file->size() < page_count * static_cast<uint64_t>(page_size)) {
+    return Status::Corruption("pager file truncated: " + path);
+  }
+  return std::unique_ptr<Pager>(
+      new Pager(std::move(file), page_size, page_count));
+}
+
+Status Pager::WriteHeader() {
+  std::string header(kMagic, 8);
+  PutFixed32(page_size_, &header);
+  PutFixed64(page_count_, &header);
+  return file_->WriteAt(0, header);
+}
+
+Status Pager::ReadPage(PageId id, char* buf) const {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " >= count " +
+                              std::to_string(page_count_));
+  }
+  return file_->ReadAt(id * page_size_, page_size_, buf);
+}
+
+Status Pager::WritePage(PageId id, const char* buf) {
+  if (id == 0 || id >= page_count_) {
+    return Status::OutOfRange("cannot write page " + std::to_string(id));
+  }
+  return file_->WriteAt(id * page_size_, {buf, page_size_});
+}
+
+Result<PageId> Pager::AllocatePage() {
+  PageId id = page_count_;
+  std::vector<char> zero(page_size_, 0);
+  CALDERA_RETURN_IF_ERROR(
+      file_->WriteAt(id * page_size_, {zero.data(), zero.size()}));
+  ++page_count_;
+  return id;
+}
+
+Status Pager::Sync() {
+  CALDERA_RETURN_IF_ERROR(WriteHeader());
+  return file_->Sync();
+}
+
+}  // namespace caldera

@@ -1,0 +1,68 @@
+#ifndef CALDERA_STORAGE_PAGER_H_
+#define CALDERA_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/file.h"
+
+namespace caldera {
+
+/// Identifies a page within one pager file. Page 0 is the pager header;
+/// user data lives in pages >= 1.
+using PageId = uint64_t;
+
+inline constexpr uint32_t kDefaultPageSize = 4096;
+inline constexpr PageId kInvalidPageId = 0;
+
+/// A Pager exposes a file as an array of fixed-size pages. It owns page
+/// allocation and the on-disk header (magic, page size, page count); callers
+/// are responsible for the contents of data pages. Access normally goes
+/// through a BufferPool rather than directly through the Pager.
+class Pager {
+ public:
+  /// Creates a new pager file at `path` (truncating any existing file).
+  static Result<std::unique_ptr<Pager>> Create(const std::string& path,
+                                               uint32_t page_size);
+
+  /// Opens an existing pager file, validating the header.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Reads page `id` into `buf` (page_size bytes).
+  Status ReadPage(PageId id, char* buf) const;
+
+  /// Writes page `id` from `buf` (page_size bytes).
+  Status WritePage(PageId id, const char* buf);
+
+  /// Allocates a fresh zeroed page at the end of the file.
+  Result<PageId> AllocatePage();
+
+  /// Persists the header and fsyncs the file.
+  Status Sync();
+
+  uint32_t page_size() const { return page_size_; }
+  /// Number of pages including the header page.
+  uint64_t page_count() const { return page_count_; }
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  Pager(std::unique_ptr<File> file, uint32_t page_size, uint64_t page_count)
+      : file_(std::move(file)),
+        page_size_(page_size),
+        page_count_(page_count) {}
+
+  Status WriteHeader();
+
+  std::unique_ptr<File> file_;
+  uint32_t page_size_;
+  uint64_t page_count_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_STORAGE_PAGER_H_

@@ -1,0 +1,182 @@
+#include "storage/record_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/encoding.h"
+#include "common/logging.h"
+
+namespace caldera {
+
+namespace {
+constexpr char kRecMagic[8] = {'C', 'L', 'D', 'R', 'R', 'E', 'C', '1'};
+constexpr PageId kMetaPage = 1;
+constexpr PageId kFirstDataPage = 2;
+}  // namespace
+
+RecordFileWriter::RecordFileWriter(std::unique_ptr<Pager> pager)
+    : pager_(std::move(pager)) {}
+
+Result<std::unique_ptr<RecordFileWriter>> RecordFileWriter::Create(
+    const std::string& path, uint32_t page_size) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                           Pager::Create(path, page_size));
+  // Reserve the meta page (page 1).
+  CALDERA_ASSIGN_OR_RETURN(PageId meta, pager->AllocatePage());
+  if (meta != kMetaPage) {
+    return Status::Internal("meta page allocated at unexpected id");
+  }
+  return std::unique_ptr<RecordFileWriter>(
+      new RecordFileWriter(std::move(pager)));
+}
+
+Status RecordFileWriter::AppendRaw(std::string_view bytes) {
+  const uint32_t page_size = pager_->page_size();
+  size_t consumed = 0;
+  while (consumed < bytes.size()) {
+    size_t room = page_size - partial_.size();
+    size_t take = std::min(room, bytes.size() - consumed);
+    partial_.append(bytes.data() + consumed, take);
+    consumed += take;
+    if (partial_.size() == page_size) {
+      CALDERA_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+      CALDERA_RETURN_IF_ERROR(pager_->WritePage(id, partial_.data()));
+      partial_.clear();
+    }
+  }
+  data_bytes_ += bytes.size();
+  return Status::Ok();
+}
+
+Result<uint64_t> RecordFileWriter::Append(std::string_view record) {
+  if (finalized_) {
+    return Status::FailedPrecondition("record file already finalized");
+  }
+  uint64_t id = offsets_.size();
+  offsets_.push_back(data_bytes_);
+  CALDERA_RETURN_IF_ERROR(AppendRaw(record));
+  return id;
+}
+
+Status RecordFileWriter::FlushPartialPage() {
+  if (partial_.empty()) return Status::Ok();
+  partial_.resize(pager_->page_size(), '\0');
+  CALDERA_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  CALDERA_RETURN_IF_ERROR(pager_->WritePage(id, partial_.data()));
+  partial_.clear();
+  return Status::Ok();
+}
+
+Status RecordFileWriter::Finalize() {
+  if (finalized_) return Status::Ok();
+  CALDERA_RETURN_IF_ERROR(FlushPartialPage());
+  const PageId dir_page = pager_->page_count();
+
+  // Directory: (n + 1) delimiting offsets, the last being total data bytes.
+  std::string dir;
+  dir.reserve((offsets_.size() + 1) * 8);
+  for (uint64_t off : offsets_) PutFixed64(off, &dir);
+  PutFixed64(data_bytes_, &dir);
+  CALDERA_RETURN_IF_ERROR(AppendRaw(dir));  // Reuses page-chunked writes.
+  data_bytes_ -= dir.size();                // Directory is not record data.
+  CALDERA_RETURN_IF_ERROR(FlushPartialPage());
+
+  // Meta page.
+  std::string meta(kRecMagic, 8);
+  PutFixed64(offsets_.size(), &meta);
+  PutFixed64(dir_page, &meta);
+  PutFixed64(data_bytes_, &meta);
+  meta.resize(pager_->page_size(), '\0');
+  CALDERA_RETURN_IF_ERROR(pager_->WritePage(kMetaPage, meta.data()));
+  CALDERA_RETURN_IF_ERROR(pager_->Sync());
+  finalized_ = true;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<RecordFileReader>> RecordFileReader::Open(
+    const std::string& path, size_t pool_pages) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::Open(path));
+  auto reader = std::unique_ptr<RecordFileReader>(
+      new RecordFileReader(std::move(pager), pool_pages));
+
+  const uint32_t page_size = reader->pager_->page_size();
+  std::vector<char> page(page_size);
+  CALDERA_RETURN_IF_ERROR(reader->pager_->ReadPage(kMetaPage, page.data()));
+  if (std::memcmp(page.data(), kRecMagic, 8) != 0) {
+    return Status::Corruption("bad record-file magic in " + path);
+  }
+  reader->num_records_ = GetFixed64(page.data() + 8);
+  uint64_t dir_page = GetFixed64(page.data() + 16);
+  uint64_t data_bytes = GetFixed64(page.data() + 24);
+  if (dir_page < kFirstDataPage || dir_page >= reader->pager_->page_count()) {
+    return Status::Corruption("bad directory page in " + path);
+  }
+
+  // Load the directory (one-time metadata read; bypasses the pool so query
+  // stats reflect only record accesses).
+  // The directory must physically fit between dir_page and EOF.
+  uint64_t dir_capacity_bytes =
+      (reader->pager_->page_count() - dir_page) * uint64_t{page_size};
+  if (reader->num_records_ + 1 > dir_capacity_bytes / 8) {
+    return Status::Corruption("record count exceeds directory size in " +
+                              path);
+  }
+  uint64_t n_entries = reader->num_records_ + 1;
+  reader->offsets_.resize(n_entries);
+  uint64_t bytes_needed = n_entries * 8;
+  std::string dir_bytes;
+  dir_bytes.reserve(bytes_needed);
+  for (PageId p = dir_page; dir_bytes.size() < bytes_needed; ++p) {
+    if (p >= reader->pager_->page_count()) {
+      return Status::Corruption("directory truncated in " + path);
+    }
+    CALDERA_RETURN_IF_ERROR(reader->pager_->ReadPage(p, page.data()));
+    dir_bytes.append(page.data(), page_size);
+  }
+  for (uint64_t i = 0; i < n_entries; ++i) {
+    reader->offsets_[i] = GetFixed64(dir_bytes.data() + i * 8);
+  }
+  if (reader->offsets_.back() != data_bytes) {
+    return Status::Corruption("directory/meta mismatch in " + path);
+  }
+  for (uint64_t i = 0; i + 1 < n_entries; ++i) {
+    if (reader->offsets_[i] > reader->offsets_[i + 1]) {
+      return Status::Corruption("non-monotone directory in " + path);
+    }
+  }
+  return reader;
+}
+
+Result<uint64_t> RecordFileReader::RecordSize(uint64_t id) const {
+  if (id >= num_records_) {
+    return Status::OutOfRange("record " + std::to_string(id) + " >= " +
+                              std::to_string(num_records_));
+  }
+  return offsets_[id + 1] - offsets_[id];
+}
+
+Status RecordFileReader::Get(uint64_t id, std::string* out) {
+  CALDERA_ASSIGN_OR_RETURN(uint64_t size, RecordSize(id));
+  out->clear();
+  out->reserve(size);
+  const uint32_t page_size = pager_->page_size();
+  uint64_t off = offsets_[id];
+  uint64_t remaining = size;
+  while (remaining > 0) {
+    PageId page = kFirstDataPage + off / page_size;
+    uint64_t in_page = off % page_size;
+    uint64_t take = std::min<uint64_t>(remaining, page_size - in_page);
+    CALDERA_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(page));
+    out->append(handle.data() + in_page, take);
+    off += take;
+    remaining -= take;
+  }
+  return Status::Ok();
+}
+
+void RecordFileReader::ResizePool(size_t pool_pages) {
+  pool_pages_ = pool_pages;
+  pool_ = std::make_unique<BufferPool>(pager_.get(), pool_pages);
+}
+
+}  // namespace caldera

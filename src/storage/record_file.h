@@ -1,0 +1,97 @@
+#ifndef CALDERA_STORAGE_RECORD_FILE_H_
+#define CALDERA_STORAGE_RECORD_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace caldera {
+
+// A RecordFile stores an append-once / read-many sequence of variable-length
+// records addressed by dense record id (0..n-1). Markovian stream archives
+// are write-once, so the format is split into a writer (sequential append,
+// finalized with a directory) and a reader (page-cached random access).
+//
+// On-disk layout (a valid pager file):
+//   page 0: pager header
+//   page 1: record-file meta (magic, record count, directory page, ...)
+//   pages 2..d-1: record bytes, packed back-to-back across pages
+//   pages d.. : directory = (n+1) u64 byte offsets delimiting records
+
+/// Sequentially builds a record file. Records become visible to readers only
+/// after Finalize() succeeds.
+class RecordFileWriter {
+ public:
+  static Result<std::unique_ptr<RecordFileWriter>> Create(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  /// Appends a record; returns its id.
+  Result<uint64_t> Append(std::string_view record);
+
+  /// Writes the directory + meta page and syncs. No appends afterwards.
+  Status Finalize();
+
+  uint64_t num_records() const { return offsets_.size(); }
+
+ private:
+  explicit RecordFileWriter(std::unique_ptr<Pager> pager);
+
+  Status FlushPartialPage();
+  Status AppendRaw(std::string_view bytes);
+
+  std::unique_ptr<Pager> pager_;
+  std::vector<uint64_t> offsets_;  // Start offset of each record.
+  uint64_t data_bytes_ = 0;        // Logical bytes appended so far.
+  std::string partial_;            // Buffered tail < one page.
+  bool finalized_ = false;
+};
+
+/// Reads a finalized record file through an LRU buffer pool. Page traffic is
+/// visible via stats().
+class RecordFileReader {
+ public:
+  static Result<std::unique_ptr<RecordFileReader>> Open(
+      const std::string& path, size_t pool_pages = 64);
+
+  /// Reads record `id` into *out (replacing its contents).
+  Status Get(uint64_t id, std::string* out);
+
+  /// Size in bytes of record `id`.
+  Result<uint64_t> RecordSize(uint64_t id) const;
+
+  uint64_t num_records() const { return num_records_; }
+  uint64_t data_bytes() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+  /// Total on-disk size in pages (data + directory + meta).
+  uint64_t file_pages() const { return pager_->page_count(); }
+  uint32_t page_size() const { return pager_->page_size(); }
+
+  const BufferPoolStats& stats() const { return pool_->stats(); }
+  void ResetStats() { pool_->ResetStats(); }
+
+  /// Re-sizes the buffer pool (drops cached pages). Used by benchmarks.
+  void ResizePool(size_t pool_pages);
+
+ private:
+  RecordFileReader(std::unique_ptr<Pager> pager, size_t pool_pages)
+      : pager_(std::move(pager)),
+        pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
+        pool_pages_(pool_pages) {}
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  size_t pool_pages_;
+  uint64_t num_records_ = 0;
+  std::vector<uint64_t> offsets_;  // n+1 delimiting offsets.
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_STORAGE_RECORD_FILE_H_

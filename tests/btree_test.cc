@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/encoding.h"
+#include "common/rng.h"
+
+namespace caldera {
+namespace {
+
+std::string Key8(uint64_t v) {
+  std::string s;
+  EncodeU64(v, &s);
+  return s;
+}
+
+std::string Val4(uint32_t v) {
+  std::string s;
+  PutFixed32(v, &s);
+  return s;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("caldera_btree_test_" + std::string(::testing::UnitTest::
+                                                    GetInstance()
+                                                        ->current_test_info()
+                                                        ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  auto tree = BTree::Create(Path("t"), {8, 4}, 512);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->num_entries(), 0u);
+  auto get = (*tree)->Get(Key8(1));
+  ASSERT_TRUE(get.ok());
+  EXPECT_FALSE(get->has_value());
+  auto cursor = (*tree)->SeekFirst();
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor->valid());
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, InsertAndGet) {
+  auto tree = BTree::Create(Path("t"), {8, 4}, 512);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*tree)->Insert(Key8(i * 3), Val4(i)).ok());
+  }
+  EXPECT_EQ((*tree)->num_entries(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    auto got = (*tree)->Get(Key8(i * 3));
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    EXPECT_EQ(GetFixed32(got->value().data()), i);
+    auto missing = (*tree)->Get(Key8(i * 3 + 1));
+    ASSERT_TRUE(missing.ok());
+    EXPECT_FALSE(missing->has_value());
+  }
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected) {
+  auto tree = BTree::Create(Path("t"), {8, 4}, 512);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->Insert(Key8(7), Val4(1)).ok());
+  EXPECT_EQ((*tree)->Insert(Key8(7), Val4(2)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ((*tree)->num_entries(), 1u);
+}
+
+TEST_F(BTreeTest, KeySizeMismatchRejected) {
+  auto tree = BTree::Create(Path("t"), {8, 4}, 512);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->Insert("short", Val4(0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*tree)->Insert(Key8(0), "toolongvalue").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*tree)->Get("x").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BTreeTest, RandomInsertMatchesReferenceMap) {
+  auto tree = BTree::Create(Path("t"), {8, 4}, 512);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(1234);
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = rng.NextBelow(100000);
+    std::string key = Key8(k);
+    std::string value = Val4(static_cast<uint32_t>(i));
+    Status st = (*tree)->Insert(key, value);
+    if (reference.count(key)) {
+      EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+    } else {
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      reference[key] = value;
+    }
+  }
+  EXPECT_EQ((*tree)->num_entries(), reference.size());
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+
+  // Full forward scan must equal the reference map.
+  auto cursor = (*tree)->SeekFirst();
+  ASSERT_TRUE(cursor.ok());
+  auto it = reference.begin();
+  while (cursor->valid()) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(cursor->key(), it->first);
+    EXPECT_EQ(cursor->value(), it->second);
+    ASSERT_TRUE(cursor->Next().ok());
+    ++it;
+  }
+  EXPECT_EQ(it, reference.end());
+}
+
+TEST_F(BTreeTest, SeekFindsLowerBound) {
+  auto tree = BTree::Create(Path("t"), {8, 0}, 512);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 10; i <= 1000; i += 10) {
+    ASSERT_TRUE((*tree)->Insert(Key8(i), {}).ok());
+  }
+  for (uint64_t probe : {0ull, 5ull, 10ull, 11ull, 555ull, 995ull, 1000ull}) {
+    auto cursor = (*tree)->Seek(Key8(probe));
+    ASSERT_TRUE(cursor.ok());
+    uint64_t expected = ((probe + 9) / 10) * 10;
+    if (expected < 10) expected = 10;
+    ASSERT_TRUE(cursor->valid()) << probe;
+    EXPECT_EQ(DecodeU64(cursor->key().data()), expected) << probe;
+  }
+  auto past = (*tree)->Seek(Key8(1001));
+  ASSERT_TRUE(past.ok());
+  EXPECT_FALSE(past->valid());
+}
+
+TEST_F(BTreeTest, DeleteRemovesKeys) {
+  auto tree = BTree::Create(Path("t"), {8, 4}, 512);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*tree)->Insert(Key8(i), Val4(0)).ok());
+  }
+  for (uint64_t i = 0; i < 500; i += 2) {
+    ASSERT_TRUE((*tree)->Delete(Key8(i)).ok());
+  }
+  EXPECT_EQ((*tree)->Delete(Key8(0)).code(), StatusCode::kNotFound);
+  EXPECT_EQ((*tree)->num_entries(), 250u);
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+  for (uint64_t i = 0; i < 500; ++i) {
+    auto got = (*tree)->Get(Key8(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->has_value(), i % 2 == 1);
+  }
+  // Cursors skip emptied regions.
+  auto cursor = (*tree)->SeekFirst();
+  ASSERT_TRUE(cursor.ok());
+  uint64_t count = 0;
+  while (cursor->valid()) {
+    EXPECT_EQ(DecodeU64(cursor->key().data()) % 2, 1u);
+    ++count;
+    ASSERT_TRUE(cursor->Next().ok());
+  }
+  EXPECT_EQ(count, 250u);
+}
+
+TEST_F(BTreeTest, PersistsAcrossReopen) {
+  {
+    auto tree = BTree::Create(Path("t"), {8, 4}, 512);
+    ASSERT_TRUE(tree.ok());
+    for (uint64_t i = 0; i < 2000; ++i) {
+      ASSERT_TRUE((*tree)->Insert(Key8(i), Val4(i & 0xff)).ok());
+    }
+    ASSERT_TRUE((*tree)->Flush().ok());
+  }
+  auto tree = BTree::Open(Path("t"));
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->num_entries(), 2000u);
+  EXPECT_EQ((*tree)->options().key_size, 8u);
+  EXPECT_EQ((*tree)->options().value_size, 4u);
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+  auto got = (*tree)->Get(Key8(1234));
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(GetFixed32(got->value().data()), 1234u & 0xff);
+}
+
+TEST_F(BTreeTest, BulkLoadMatchesReference) {
+  auto builder = BTreeBuilder::Create(Path("t"), {8, 4}, 512);
+  ASSERT_TRUE(builder.ok()) << builder.status().ToString();
+  const uint64_t kEntries = 20000;
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    ASSERT_TRUE((*builder)->Add(Key8(i * 7), Val4(i & 0xffff)).ok());
+  }
+  auto tree = (*builder)->Finish();
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->num_entries(), kEntries);
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+  EXPECT_GT((*tree)->height(), 1u);
+  for (uint64_t probe :
+       {uint64_t{0}, uint64_t{7}, uint64_t{70000}, (kEntries - 1) * 7}) {
+    auto got = (*tree)->Get(Key8(probe));
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->has_value()) << probe;
+  }
+  // Scan order.
+  auto cursor = (*tree)->SeekFirst();
+  ASSERT_TRUE(cursor.ok());
+  uint64_t expected = 0;
+  while (cursor->valid()) {
+    EXPECT_EQ(DecodeU64(cursor->key().data()), expected * 7);
+    ++expected;
+    ASSERT_TRUE(cursor->Next().ok());
+  }
+  EXPECT_EQ(expected, kEntries);
+}
+
+TEST_F(BTreeTest, BulkLoadRejectsUnsortedKeys) {
+  auto builder = BTreeBuilder::Create(Path("t"), {8, 0}, 512);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add(Key8(10), {}).ok());
+  EXPECT_EQ((*builder)->Add(Key8(10), {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*builder)->Add(Key8(5), {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BTreeTest, BulkLoadEmpty) {
+  auto builder = BTreeBuilder::Create(Path("t"), {8, 0}, 512);
+  ASSERT_TRUE(builder.ok());
+  auto tree = (*builder)->Finish();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->num_entries(), 0u);
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, BulkLoadSingleEntry) {
+  auto builder = BTreeBuilder::Create(Path("t"), {8, 4}, 512);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add(Key8(42), Val4(42)).ok());
+  auto tree = (*builder)->Finish();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->num_entries(), 1u);
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+  auto got = (*tree)->Get(Key8(42));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->has_value());
+}
+
+TEST_F(BTreeTest, InsertIntoBulkLoadedTree) {
+  auto builder = BTreeBuilder::Create(Path("t"), {8, 0}, 512);
+  ASSERT_TRUE(builder.ok());
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE((*builder)->Add(Key8(i * 2), {}).ok());
+  }
+  auto tree = (*builder)->Finish();
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE((*tree)->Insert(Key8(i * 2 + 1), {}).ok());
+  }
+  EXPECT_EQ((*tree)->num_entries(), 2000u);
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+}
+
+// Parameterized sweep: tree behaviour must be identical across page sizes
+// and entry shapes.
+struct BTreeParam {
+  uint32_t page_size;
+  uint32_t key_size;
+  uint32_t value_size;
+  int entries;
+};
+
+class BTreeParamTest : public ::testing::TestWithParam<BTreeParam> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "caldera_btree_param";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_P(BTreeParamTest, RandomWorkloadKeepsInvariants) {
+  const BTreeParam& p = GetParam();
+  BTreeOptions options{p.key_size, p.value_size};
+  auto tree = BTree::Create((dir_ / "t").string(), options, p.page_size);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  Rng rng(p.page_size * 31 + p.key_size);
+  std::map<std::string, bool> present;
+  for (int i = 0; i < p.entries; ++i) {
+    std::string key;
+    while (key.size() < p.key_size) {
+      key.push_back(static_cast<char>('a' + rng.NextBelow(16)));
+    }
+    std::string value(p.value_size, static_cast<char>(rng.NextBelow(256)));
+    Status st = (*tree)->Insert(key, value);
+    if (present[key]) {
+      EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+    } else {
+      ASSERT_TRUE(st.ok());
+      present[key] = true;
+    }
+    if (i % 7 == 0 && !present.empty()) {
+      // Delete a random known key occasionally.
+      auto it = present.begin();
+      std::advance(it, rng.NextBelow(present.size()));
+      if (it->second) {
+        ASSERT_TRUE((*tree)->Delete(it->first).ok());
+        it->second = false;
+      }
+    }
+  }
+  ASSERT_TRUE((*tree)->CheckInvariants().ok());
+  size_t live = 0;
+  for (const auto& [k, alive] : present) live += alive ? 1 : 0;
+  EXPECT_EQ((*tree)->num_entries(), live);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BTreeParamTest,
+    ::testing::Values(BTreeParam{512, 8, 0, 2000},
+                      BTreeParam{512, 12, 8, 2000},
+                      BTreeParam{1024, 20, 0, 3000},
+                      BTreeParam{4096, 12, 8, 5000},
+                      BTreeParam{1024, 100, 64, 800}));
+
+}  // namespace
+}  // namespace caldera

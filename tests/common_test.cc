@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/encoding.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace caldera {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IoError("disk on fire"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+Result<int> Doubler(Result<int> in) {
+  CALDERA_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Doubler(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Doubler(Status::NotFound("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EncodingTest, U32RoundTripAndOrder) {
+  std::vector<uint32_t> values = {0, 1, 255, 256, 65535, 1u << 20,
+                                  0xffffffffu};
+  std::vector<std::string> encoded;
+  for (uint32_t v : values) {
+    std::string s;
+    EncodeU32(v, &s);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeU32(s.data()), v);
+    encoded.push_back(s);
+  }
+  EXPECT_TRUE(std::is_sorted(encoded.begin(), encoded.end()));
+}
+
+TEST(EncodingTest, U64RoundTripAndOrder) {
+  std::vector<uint64_t> values = {0, 1, 1ull << 32, (1ull << 40) + 7,
+                                  UINT64_MAX};
+  std::vector<std::string> encoded;
+  for (uint64_t v : values) {
+    std::string s;
+    EncodeU64(v, &s);
+    EXPECT_EQ(DecodeU64(s.data()), v);
+    encoded.push_back(s);
+  }
+  EXPECT_TRUE(std::is_sorted(encoded.begin(), encoded.end()));
+}
+
+TEST(EncodingTest, ProbDescendingOrdersHighFirst) {
+  std::vector<double> probs = {1.0, 0.99, 0.5, 0.25, 0.001, 0.0};
+  std::vector<std::string> encoded;
+  for (double p : probs) {
+    std::string s;
+    EncodeProbDescending(p, &s);
+    EXPECT_NEAR(DecodeProbDescending(s.data()), p, 1e-15);
+    encoded.push_back(s);
+  }
+  // Input was descending in probability -> encodings ascend.
+  EXPECT_TRUE(std::is_sorted(encoded.begin(), encoded.end()));
+}
+
+TEST(EncodingTest, DoubleAscendingOrderPreserving) {
+  Rng rng(123);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.NextDouble() * 1e6);
+  std::sort(values.begin(), values.end());
+  std::vector<std::string> encoded;
+  for (double v : values) {
+    std::string s;
+    EncodeDoubleAscending(v, &s);
+    EXPECT_EQ(DecodeDoubleAscending(s.data()), v);
+    encoded.push_back(s);
+  }
+  EXPECT_TRUE(std::is_sorted(encoded.begin(), encoded.end()));
+}
+
+TEST(EncodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed("hello", &buf);
+  PutLengthPrefixed("", &buf);
+  PutLengthPrefixed("world!", &buf);
+  size_t offset = 0;
+  std::string_view s;
+  ASSERT_TRUE(GetLengthPrefixed(buf, &offset, &s));
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(buf, &offset, &s));
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(buf, &offset, &s));
+  EXPECT_EQ(s, "world!");
+  EXPECT_FALSE(GetLengthPrefixed(buf, &offset, &s));
+}
+
+TEST(EncodingTest, LengthPrefixedRejectsTruncation) {
+  std::string buf;
+  PutLengthPrefixed("payload", &buf);
+  buf.resize(buf.size() - 2);
+  size_t offset = 0;
+  std::string_view s;
+  EXPECT_FALSE(GetLengthPrefixed(buf, &offset, &s));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(99), b(99), c(100);
+  bool differed = false;
+  for (int i = 0; i < 64; ++i) {
+    uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, BernoulliRoughlyUnbiased) {
+  Rng rng(9);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace caldera

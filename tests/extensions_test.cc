@@ -1,0 +1,444 @@
+// Tests for features beyond the paper's core algorithms: threshold
+// retrieval, archive verification, the streaming (Lahar-style) processor,
+// the predicate-conditioned MC index, and multi-attribute streams.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "caldera/btree_method.h"
+#include "caldera/mc_method.h"
+#include "caldera/scan_method.h"
+#include "caldera/system.h"
+#include "caldera/topk_method.h"
+#include "caldera/verify.h"
+#include "common/logging.h"
+#include "index/mc_index.h"
+#include "reg/streaming.h"
+#include "rfid/workload.h"
+#include "storage/file.h"
+#include "test_util.h"
+
+namespace caldera {
+namespace {
+
+std::unique_ptr<ArchivedStream> ArchiveAll(const test::ScratchDir& scratch,
+                                           const MarkovianStream& stream,
+                                           const std::string& name) {
+  StreamArchive archive(scratch.Path("archive"));
+  CALDERA_CHECK_OK(archive.CreateStream(name, stream, DiskLayout::kSeparated));
+  CALDERA_CHECK_OK(archive.BuildBtc(name, 0));
+  CALDERA_CHECK_OK(archive.BuildBtp(name, 0));
+  CALDERA_CHECK_OK(archive.BuildMc(name, {}));
+  auto opened = archive.OpenStream(name);
+  CALDERA_CHECK_OK(opened.status());
+  return std::move(*opened);
+}
+
+RegularQuery Fixed(uint32_t a, uint32_t b) {
+  return RegularQuery::Sequence(
+      "f", {Predicate::Equality(0, a, "a"), Predicate::Equality(0, b, "b")});
+}
+
+// ---------------------------------------------------------------------------
+// Threshold retrieval
+// ---------------------------------------------------------------------------
+
+class ThresholdTest : public ::testing::Test {
+ protected:
+  ThresholdTest() : scratch_("threshold_test") {}
+  test::ScratchDir scratch_;
+};
+
+TEST_F(ThresholdTest, ReturnsExactlyTheMatchesAboveThreshold) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    MarkovianStream stream = test::MakeBandedStream(300, 16, seed);
+    auto archived =
+        ArchiveAll(scratch_, stream, "s" + std::to_string(seed));
+    RegularQuery query = Fixed(6, 7);
+    auto scan = RunScanMethod(archived.get(), query);
+    ASSERT_TRUE(scan.ok());
+    for (double tau : {0.05, 0.2, 0.5}) {
+      auto result = RunThresholdMethod(archived.get(), query, tau);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      // Reference: scan entries above tau.
+      QuerySignal expected = FilterSignal(scan->signal, tau);
+      EXPECT_EQ(result->signal.size(), expected.size()) << "tau=" << tau;
+      // Probabilities sorted descending and all above tau.
+      for (size_t i = 0; i < result->signal.size(); ++i) {
+        EXPECT_GT(result->signal[i].prob, tau);
+        if (i > 0) {
+          EXPECT_GE(result->signal[i - 1].prob, result->signal[i].prob);
+        }
+      }
+      // Every expected match present with the right probability.
+      for (const TimestepProbability& e : expected) {
+        bool found = false;
+        for (const TimestepProbability& r : result->signal) {
+          if (r.time == e.time) {
+            EXPECT_NEAR(r.prob, e.prob, 1e-9);
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found) << "missing t=" << e.time;
+      }
+    }
+  }
+}
+
+TEST_F(ThresholdTest, HighThresholdPrunesAggressively) {
+  SnippetStreamSpec spec;
+  spec.num_snippets = 60;
+  spec.density = 1.0;
+  spec.seed = 4;
+  auto workload = MakeSnippetStream(spec);
+  ASSERT_TRUE(workload.ok());
+  auto archived = ArchiveAll(scratch_, workload->stream, "s");
+  RegularQuery query = workload->EnteredRoomFixed();
+
+  auto strict = RunThresholdMethod(archived.get(), query, 0.9);
+  auto loose = RunThresholdMethod(archived.get(), query, 0.01);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LE(strict->signal.size(), loose->signal.size());
+  EXPECT_LE(strict->stats.intervals, loose->stats.intervals);
+}
+
+TEST_F(ThresholdTest, RejectsBadThresholds) {
+  MarkovianStream stream = test::MakeBandedStream(50, 8, 5);
+  auto archived = ArchiveAll(scratch_, stream, "s");
+  EXPECT_EQ(RunThresholdMethod(archived.get(), Fixed(1, 2), 0.0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunThresholdMethod(archived.get(), Fixed(1, 2), 1.0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ThresholdTest, FacadeRoutesThresholdQueries) {
+  MarkovianStream stream = test::MakeBandedStream(150, 12, 6);
+  Caldera system(scratch_.Path("facade"));
+  ASSERT_TRUE(system.archive()->CreateStream("s", stream).ok());
+  ASSERT_TRUE(system.archive()->BuildBtc("s", 0).ok());
+  ASSERT_TRUE(system.archive()->BuildBtp("s", 0).ok());
+  ExecOptions options;
+  options.method = AccessMethodKind::kTopK;
+  options.threshold = 0.1;
+  auto result = system.Execute("s", Fixed(4, 5), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const TimestepProbability& e : result->signal) {
+    EXPECT_GT(e.prob, 0.1);
+  }
+  // Threshold also filters other methods' signals.
+  options.method = AccessMethodKind::kScan;
+  auto scan = system.Execute("s", Fixed(4, 5), options);
+  ASSERT_TRUE(scan.ok());
+  for (const TimestepProbability& e : scan->signal) {
+    EXPECT_GT(e.prob, 0.1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Archive verification
+// ---------------------------------------------------------------------------
+
+class VerifyTest : public ::testing::Test {
+ protected:
+  VerifyTest() : scratch_("verify_test") {}
+  test::ScratchDir scratch_;
+};
+
+TEST_F(VerifyTest, CleanArchivePasses) {
+  MarkovianStream stream = test::MakeBandedStream(120, 10, 7);
+  auto archived = ArchiveAll(scratch_, stream, "s");
+  VerifyReport report;
+  Status st = VerifyArchivedStream(archived.get(), {}, &report);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.timesteps_checked, 120u);
+  EXPECT_GT(report.btc_entries_checked, 0u);
+  EXPECT_GT(report.btp_entries_checked, 0u);
+  EXPECT_GT(report.mc_entries_checked, 0u);
+}
+
+TEST_F(VerifyTest, DetectsIndexStreamMismatch) {
+  MarkovianStream stream = test::MakeBandedStream(120, 10, 8);
+  StreamArchive archive(scratch_.Path("archive"));
+  ASSERT_TRUE(archive.CreateStream("s", stream).ok());
+  ASSERT_TRUE(archive.BuildBtc("s", 0).ok());
+  // Corrupt one BT_C value byte (a probability) without breaking the tree
+  // structure: delete an entry instead, which is structurally clean but
+  // inconsistent with the stream.
+  {
+    auto tree = BTree::Open(archive.StreamDir("s") + "/btc.attr0.bt");
+    ASSERT_TRUE(tree.ok());
+    auto cursor = (*tree)->SeekFirst();
+    ASSERT_TRUE(cursor.ok());
+    ASSERT_TRUE(cursor->valid());
+    std::string victim(cursor->key());
+    ASSERT_TRUE((*tree)->Delete(victim).ok());
+    ASSERT_TRUE((*tree)->Flush().ok());
+  }
+  auto archived = archive.OpenStream("s");
+  ASSERT_TRUE(archived.ok());
+  VerifyReport report;
+  Status st = VerifyArchivedStream(archived->get(), {}, &report);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST_F(VerifyTest, DetectsStaleIndexAfterStreamSwap) {
+  // Archive stream A, build indexes, then swap in stream B's data files:
+  // the indexes no longer match.
+  MarkovianStream a = test::MakeBandedStream(100, 10, 9);
+  MarkovianStream b = test::MakeBandedStream(100, 10, 10);
+  StreamArchive archive(scratch_.Path("archive"));
+  ASSERT_TRUE(archive.CreateStream("s", a).ok());
+  ASSERT_TRUE(archive.BuildBtc("s", 0).ok());
+  ASSERT_TRUE(
+      WriteStream(archive.StreamDir("s"), b, DiskLayout::kSeparated).ok());
+  auto archived = archive.OpenStream("s");
+  ASSERT_TRUE(archived.ok());
+  VerifyReport report;
+  Status st = VerifyArchivedStream(archived->get(), {}, &report);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming (Lahar-style) processor
+// ---------------------------------------------------------------------------
+
+TEST(StreamingTest, MatchesBatchSignal) {
+  MarkovianStream stream = test::MakeBandedStream(80, 10, 11);
+  RegularQuery query = Fixed(3, 4);
+  std::vector<double> batch = RunRegOverStream(query, stream);
+
+  StreamingQueryProcessor processor(query, stream.schema(), /*window=*/16);
+  for (uint64_t t = 0; t < stream.length(); ++t) {
+    auto p = processor.Consume(stream.marginal(t),
+                               t == 0 ? Cpt() : stream.transition(t));
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_NEAR(*p, batch[t], 1e-12) << "t=" << t;
+  }
+  EXPECT_EQ(processor.timesteps(), stream.length());
+  EXPECT_EQ(processor.recent().size(), 16u);
+  // Window peak equals the best of the last 16 batch values.
+  double best = 0;
+  uint64_t best_t = 0;
+  for (uint64_t t = stream.length() - 16; t < stream.length(); ++t) {
+    if (batch[t] > best) {
+      best = batch[t];
+      best_t = t;
+    }
+  }
+  if (best > 0) {
+    EXPECT_EQ(processor.WindowPeak().time, best_t);
+    EXPECT_NEAR(processor.WindowPeak().prob, best, 1e-12);
+  }
+}
+
+TEST(StreamingTest, ValidatesInput) {
+  MarkovianStream stream = test::MakeBandedStream(10, 6, 12);
+  RegularQuery query = Fixed(1, 2);
+  StreamingQueryProcessor processor(query, stream.schema());
+  // First timestep with a CPT is rejected.
+  EXPECT_FALSE(
+      processor.Consume(stream.marginal(0), stream.transition(1)).ok());
+  ASSERT_TRUE(processor.Consume(stream.marginal(0), Cpt()).ok());
+  // Later timestep without a CPT is rejected.
+  EXPECT_FALSE(processor.Consume(stream.marginal(1), Cpt()).ok());
+}
+
+TEST(StreamingTest, ResetStartsFresh) {
+  MarkovianStream stream = test::MakeBandedStream(20, 6, 13);
+  RegularQuery query = Fixed(1, 2);
+  StreamingQueryProcessor processor(query, stream.schema());
+  ASSERT_TRUE(processor.Consume(stream.marginal(0), Cpt()).ok());
+  ASSERT_TRUE(
+      processor.Consume(stream.marginal(1), stream.transition(1)).ok());
+  processor.Reset();
+  EXPECT_EQ(processor.timesteps(), 0u);
+  EXPECT_TRUE(processor.recent().empty());
+  EXPECT_TRUE(processor.Consume(stream.marginal(0), Cpt()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Predicate-conditioned MC index (Section 3.3.2)
+// ---------------------------------------------------------------------------
+
+TEST(ConditionedMcTest, EntriesEqualConditionedProducts) {
+  test::ScratchDir scratch("cond_mc_test");
+  MarkovianStream stream = test::MakeValidStream(64, 6, 14);
+  ASSERT_TRUE(WriteStream(scratch.Path("s"), stream).ok());
+  auto stored = StoredStream::Open(scratch.Path("s"));
+  ASSERT_TRUE(stored.ok());
+  StoredStream* raw = stored->get();
+
+  // Condition: "stays in {1, 2}".
+  auto matcher = [](ValueId v) { return v == 1 || v == 2; };
+  ASSERT_TRUE(
+      McIndex::BuildConditioned(stream, scratch.Path("mc"), {}, matcher)
+          .ok());
+  TransitionSource source = ConditionSource(
+      [raw](uint64_t t, Cpt* out) { return raw->ReadTransition(t, out); },
+      matcher);
+  auto index = McIndex::Open(scratch.Path("mc"), source);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  for (auto [from, to] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 5}, {3, 17}, {0, 63}, {10, 11}, {7, 40}}) {
+    Cpt computed;
+    ASSERT_TRUE((*index)->ComputeCpt(from, to, &computed).ok());
+    // Direct conditioned product.
+    Cpt direct =
+        stream.transition(from + 1).ConditionDestination(matcher);
+    for (uint64_t t = from + 2; t <= to; ++t) {
+      direct = ComposeCpts(direct,
+                           stream.transition(t).ConditionDestination(matcher),
+                           stream.schema().state_count());
+    }
+    for (const Cpt::Row& row : direct.rows()) {
+      for (const Cpt::RowEntry& e : row.entries) {
+        EXPECT_NEAR(computed.Probability(row.src, e.dst), e.prob, 1e-9);
+      }
+    }
+    // Conditioned products are sub-stochastic: entries only where every
+    // intermediate step stays inside the predicate.
+    for (const Cpt::Row& row : computed.rows()) {
+      double mass = 0;
+      for (const Cpt::RowEntry& e : row.entries) {
+        EXPECT_TRUE(matcher(e.dst));
+        mass += e.prob;
+      }
+      EXPECT_LE(mass, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(ConditionedMcTest, ConditionedMassMatchesBruteForceStayProbability) {
+  // P(X_1..X_5 all in P | X_0 = x) from the conditioned index equals the
+  // brute-force sum over in-P trajectories.
+  test::ScratchDir scratch("cond_mc_brute");
+  MarkovianStream stream = test::MakeValidStream(8, 4, 15, 0.8);
+  auto matcher = [](ValueId v) { return v <= 1; };  // P = {0, 1}.
+  ASSERT_TRUE(
+      McIndex::BuildConditioned(stream, scratch.Path("mc"), {}, matcher)
+          .ok());
+  ASSERT_TRUE(WriteStream(scratch.Path("s"), stream).ok());
+  auto stored = StoredStream::Open(scratch.Path("s"));
+  ASSERT_TRUE(stored.ok());
+  StoredStream* raw = stored->get();
+  auto index = McIndex::Open(
+      scratch.Path("mc"),
+      ConditionSource(
+          [raw](uint64_t t, Cpt* out) { return raw->ReadTransition(t, out); },
+          matcher));
+  ASSERT_TRUE(index.ok());
+
+  Cpt span;
+  ASSERT_TRUE((*index)->ComputeCpt(0, 5, &span).ok());
+  for (const Distribution::Entry& start : stream.marginal(0).entries()) {
+    // Brute force over trajectories staying in P.
+    std::vector<std::pair<ValueId, double>> frontier{{start.value, 1.0}};
+    for (uint64_t t = 1; t <= 5; ++t) {
+      std::vector<std::pair<ValueId, double>> next;
+      for (const auto& [v, p] : frontier) {
+        const Cpt::Row* row = stream.transition(t).FindRow(v);
+        if (row == nullptr) continue;
+        for (const Cpt::RowEntry& e : row->entries) {
+          if (matcher(e.dst)) next.emplace_back(e.dst, p * e.prob);
+        }
+      }
+      frontier = std::move(next);
+    }
+    double brute = 0;
+    for (const auto& [v, p] : frontier) brute += p;
+    double indexed = 0;
+    const Cpt::Row* row = span.FindRow(start.value);
+    if (row != nullptr) {
+      for (const Cpt::RowEntry& e : row->entries) indexed += e.prob;
+    }
+    EXPECT_NEAR(indexed, brute, 1e-9) << "start=" << start.value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-attribute streams
+// ---------------------------------------------------------------------------
+
+MarkovianStream MakeTwoAttributeStream(uint64_t length, uint64_t seed) {
+  StreamSchema schema;
+  schema.AddAttribute("loc", {"H", "O", "C"});
+  schema.AddAttribute("mode", {"idle", "busy"});
+  // Random valid stream over the 6 composite states.
+  MarkovianStream flat = test::MakeValidStream(length, 6, seed, 0.6);
+  MarkovianStream stream(schema);
+  for (uint64_t t = 0; t < flat.length(); ++t) {
+    stream.Append(flat.marginal(t), flat.transition(t));
+  }
+  return stream;
+}
+
+TEST(MultiAttributeTest, PerAttributeIndexesAndCrossAttributeQueries) {
+  test::ScratchDir scratch("multi_attr_test");
+  MarkovianStream stream = MakeTwoAttributeStream(150, 16);
+  ASSERT_TRUE(stream.Validate().ok());
+
+  StreamArchive archive(scratch.Path("archive"));
+  ASSERT_TRUE(archive.CreateStream("s", stream).ok());
+  ASSERT_TRUE(archive.BuildBtc("s", 0).ok());
+  ASSERT_TRUE(archive.BuildBtc("s", 1).ok());
+  ASSERT_TRUE(archive.BuildBtp("s", 0).ok());
+  ASSERT_TRUE(archive.BuildBtp("s", 1).ok());
+  auto archived = archive.OpenStream("s");
+  ASSERT_TRUE(archived.ok());
+  EXPECT_NE((*archived)->btc(0), nullptr);
+  EXPECT_NE((*archived)->btc(1), nullptr);
+
+  // Cross-attribute fixed query: location O, then mode busy.
+  RegularQuery query = RegularQuery::Sequence(
+      "cross",
+      {Predicate::Equality(0, 1, "O"), Predicate::Equality(1, 1, "busy")});
+  auto scan = RunScanMethod(archived->get(), query);
+  auto btree = RunBTreeMethod(archived->get(), query);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(btree.ok()) << btree.status().ToString();
+  // Every nonzero scan probability appears identically in the B+Tree
+  // method's output.
+  for (const TimestepProbability& e : scan->signal) {
+    if (e.prob <= 0) continue;
+    bool found = false;
+    for (const TimestepProbability& o : btree->signal) {
+      if (o.time == e.time) {
+        EXPECT_NEAR(o.prob, e.prob, 1e-9);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "t=" << e.time;
+  }
+
+  // Verification covers both attributes' indexes.
+  VerifyReport report;
+  Status st = VerifyArchivedStream(archived->get(), {}, &report);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(MultiAttributeTest, MissingAttributeIndexFailsVariableMethod) {
+  test::ScratchDir scratch("multi_attr_missing");
+  MarkovianStream stream = MakeTwoAttributeStream(80, 17);
+  StreamArchive archive(scratch.Path("archive"));
+  ASSERT_TRUE(archive.CreateStream("s", stream).ok());
+  ASSERT_TRUE(archive.BuildBtc("s", 0).ok());  // Attribute 1 NOT indexed.
+  ASSERT_TRUE(archive.BuildMc("s", {}).ok());
+  auto archived = archive.OpenStream("s");
+  ASSERT_TRUE(archived.ok());
+  Predicate busy = Predicate::Equality(1, 1, "busy");
+  RegularQuery query(
+      "v", {QueryLink{std::nullopt, Predicate::Equality(0, 0, "H")},
+            QueryLink{Predicate::Not(busy), busy}});
+  auto result = RunMcMethod(archived->get(), query);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace caldera

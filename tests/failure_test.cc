@@ -1,0 +1,162 @@
+// Failure-injection tests: every externally visible corruption or misuse
+// must surface as a Status, never as UB or a crash.
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "caldera/archive.h"
+#include "caldera/mc_method.h"
+#include "caldera/scan_method.h"
+#include "caldera/topk_method.h"
+#include "common/logging.h"
+#include "index/mc_index.h"
+#include "storage/file.h"
+#include "test_util.h"
+
+namespace caldera {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : scratch_("failure_test") {}
+  test::ScratchDir scratch_;
+};
+
+TEST_F(FailureTest, BTreeOpenOnGarbageFile) {
+  {
+    auto f = File::OpenOrCreate(scratch_.Path("garbage.bt"));
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(std::string(8192, 'j')).ok());
+  }
+  EXPECT_FALSE(BTree::Open(scratch_.Path("garbage.bt")).ok());
+}
+
+TEST_F(FailureTest, BTreeOpenOnWrongMagic) {
+  {
+    auto pager = Pager::Create(scratch_.Path("p.bt"), 512);
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  EXPECT_EQ(BTree::Open(scratch_.Path("p.bt")).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(FailureTest, BTreeCreateRejectsDegenerateShapes) {
+  EXPECT_FALSE(BTree::Create(scratch_.Path("a.bt"), {0, 4}, 512).ok());
+  EXPECT_FALSE(BTree::Create(scratch_.Path("b.bt"), {300, 4}, 512).ok());
+  EXPECT_FALSE(BTree::Create(scratch_.Path("c.bt"), {200, 2000}, 512).ok());
+}
+
+TEST_F(FailureTest, StreamOpenWithMissingDataFile) {
+  MarkovianStream stream = test::MakeBandedStream(40, 8, 1);
+  std::string dir = scratch_.Path("s");
+  ASSERT_TRUE(WriteStream(dir, stream, DiskLayout::kSeparated).ok());
+  ASSERT_TRUE(RemoveFileIfExists(dir + "/cpts.rec").ok());
+  EXPECT_FALSE(StoredStream::Open(dir).ok());
+}
+
+TEST_F(FailureTest, StreamOpenWithTruncatedDataFile) {
+  MarkovianStream stream = test::MakeBandedStream(40, 8, 2);
+  std::string dir = scratch_.Path("s");
+  ASSERT_TRUE(WriteStream(dir, stream, DiskLayout::kSeparated).ok());
+  {
+    auto f = File::OpenOrCreate(dir + "/marginals.rec");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Truncate((*f)->size() / 2).ok());
+  }
+  EXPECT_FALSE(StoredStream::Open(dir).ok());
+}
+
+TEST_F(FailureTest, CorruptRecordPayloadSurfacesOnRead) {
+  MarkovianStream stream = test::MakeBandedStream(40, 8, 3);
+  std::string dir = scratch_.Path("s");
+  ASSERT_TRUE(WriteStream(dir, stream, DiskLayout::kSeparated).ok());
+  {
+    // Overwrite the middle of the marginal data region with garbage that
+    // parses as an absurd entry count.
+    auto f = File::OpenOrCreate(dir + "/marginals.rec");
+    ASSERT_TRUE(f.ok());
+    std::string garbage(256, '\xff');
+    ASSERT_TRUE((*f)->WriteAt(2 * 4096 + 100, garbage).ok());
+  }
+  auto stored = StoredStream::Open(dir);
+  ASSERT_TRUE(stored.ok());  // Metadata still intact.
+  Distribution marginal;
+  bool failed = false;
+  for (uint64_t t = 0; t < (*stored)->length(); ++t) {
+    if (!(*stored)->ReadMarginal(t, &marginal).ok()) failed = true;
+  }
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(FailureTest, McIndexOpenWithoutMeta) {
+  auto index = McIndex::Open(scratch_.Path("nonexistent"),
+                             [](uint64_t, Cpt*) { return Status::Ok(); });
+  EXPECT_FALSE(index.ok());
+}
+
+TEST_F(FailureTest, McIndexMissingLevelFile) {
+  MarkovianStream stream = test::MakeBandedStream(64, 8, 4);
+  std::string dir = scratch_.Path("mc");
+  ASSERT_TRUE(McIndex::Build(stream, dir, {}).ok());
+  ASSERT_TRUE(RemoveFileIfExists(dir + "/L2.rec").ok());
+  auto index = McIndex::Open(dir, [](uint64_t, Cpt*) { return Status::Ok(); });
+  EXPECT_FALSE(index.ok());
+}
+
+TEST_F(FailureTest, McMethodWithoutIndexFailsCleanly) {
+  MarkovianStream stream = test::MakeBandedStream(60, 8, 5);
+  StreamArchive archive(scratch_.Path("archive"));
+  ASSERT_TRUE(archive.CreateStream("s", stream, DiskLayout::kSeparated).ok());
+  ASSERT_TRUE(archive.BuildBtc("s", 0).ok());
+  auto archived = archive.OpenStream("s");
+  ASSERT_TRUE(archived.ok());
+  Predicate t = Predicate::Equality(0, 3, "s3");
+  RegularQuery query(
+      "v", {QueryLink{std::nullopt, Predicate::Equality(0, 1, "s1")},
+            QueryLink{Predicate::Not(t), t}});
+  EXPECT_EQ(RunMcMethod(archived->get(), query).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FailureTest, MethodsRejectQueriesInvalidForSchema) {
+  MarkovianStream stream = test::MakeBandedStream(60, 8, 6);
+  StreamArchive archive(scratch_.Path("archive"));
+  ASSERT_TRUE(archive.CreateStream("s", stream, DiskLayout::kSeparated).ok());
+  ASSERT_TRUE(archive.BuildBtc("s", 0).ok());
+  ASSERT_TRUE(archive.BuildBtp("s", 0).ok());
+  auto archived = archive.OpenStream("s");
+  ASSERT_TRUE(archived.ok());
+  RegularQuery bogus = RegularQuery::Sequence(
+      "b", {Predicate::Equality(0, 99, "nope"),
+            Predicate::Equality(0, 100, "nope2")});
+  EXPECT_FALSE(RunScanMethod(archived->get(), bogus).ok());
+  EXPECT_FALSE(RunTopKMethod(archived->get(), bogus, 1).ok());
+}
+
+TEST_F(FailureTest, ArchiveOpenStreamWithCorruptIndexFails) {
+  MarkovianStream stream = test::MakeBandedStream(60, 8, 7);
+  StreamArchive archive(scratch_.Path("archive"));
+  ASSERT_TRUE(archive.CreateStream("s", stream, DiskLayout::kSeparated).ok());
+  ASSERT_TRUE(archive.BuildBtc("s", 0).ok());
+  {
+    auto f = File::OpenOrCreate(archive.StreamDir("s") + "/btc.attr0.bt");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->WriteAt(0, std::string(64, 'x')).ok());
+  }
+  EXPECT_FALSE(archive.OpenStream("s").ok());
+}
+
+TEST_F(FailureTest, ScanOnEmptyArchiveDirectory) {
+  StreamArchive archive(scratch_.Path("archive"));
+  ASSERT_TRUE(archive.Init().ok());
+  EXPECT_EQ(archive.OpenStream("missing").status().code(),
+            StatusCode::kNotFound);
+  auto list = archive.ListStreams();
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list->empty());
+}
+
+}  // namespace
+}  // namespace caldera

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmm/hmm.h"
+#include "hmm/particle_smoother.h"
+#include "hmm/smoother.h"
+#include "reg/reg_operator.h"
+
+namespace caldera {
+namespace {
+
+// A 3-state chain HMM: states A-B-C, observations 0=silence, 1=beepA,
+// 2=beepC (antennas at the ends).
+Hmm ChainHmm() {
+  Hmm hmm(3, 3);
+  hmm.SetInitial(Distribution::FromPairs({{0, 1.0}}));
+  hmm.SetTransitionRow(0, {{0, 0.5}, {1, 0.5}});
+  hmm.SetTransitionRow(1, {{0, 0.25}, {1, 0.5}, {2, 0.25}});
+  hmm.SetTransitionRow(2, {{1, 0.5}, {2, 0.5}});
+  hmm.SetEmissionRow(0, {{0, 0.3}, {1, 0.7}});
+  hmm.SetEmissionRow(1, {{0, 1.0}});
+  hmm.SetEmissionRow(2, {{0, 0.3}, {2, 0.7}});
+  return hmm;
+}
+
+StreamSchema ChainSchema() {
+  return SingleAttributeSchema("loc", {"A", "B", "C"});
+}
+
+TEST(HmmTest, ValidateAcceptsWellFormedModel) {
+  EXPECT_TRUE(ChainHmm().Validate().ok());
+}
+
+TEST(HmmTest, ValidateRejectsBrokenModels) {
+  Hmm missing_row(2, 2);
+  missing_row.SetInitial(Distribution::FromPairs({{0, 1.0}}));
+  missing_row.SetTransitionRow(0, {{0, 1.0}});
+  missing_row.SetEmissionRow(0, {{0, 1.0}});
+  missing_row.SetEmissionRow(1, {{0, 1.0}});
+  EXPECT_FALSE(missing_row.Validate().ok());
+
+  Hmm bad_probs = ChainHmm();
+  bad_probs.SetTransitionRow(0, {{0, 0.5}, {1, 0.4}});
+  EXPECT_FALSE(bad_probs.Validate().ok());
+
+  Hmm bad_symbol = ChainHmm();
+  bad_symbol.SetEmissionRow(0, {{9, 1.0}});
+  EXPECT_FALSE(bad_symbol.Validate().ok());
+}
+
+TEST(HmmTest, SampleProducesConsistentTrajectories) {
+  Hmm hmm = ChainHmm();
+  Rng rng(5);
+  std::vector<uint32_t> states, obs;
+  ASSERT_TRUE(hmm.Sample(200, &rng, &states, &obs).ok());
+  ASSERT_EQ(states.size(), 200u);
+  ASSERT_EQ(obs.size(), 200u);
+  EXPECT_EQ(states[0], 0u);  // Point initial.
+  for (size_t t = 1; t < states.size(); ++t) {
+    EXPECT_GT(hmm.transition().Probability(states[t - 1], states[t]), 0.0);
+  }
+  for (size_t t = 0; t < states.size(); ++t) {
+    EXPECT_GT(hmm.EmissionProb(states[t], obs[t]), 0.0);
+  }
+}
+
+TEST(SmootherTest, OutputIsValidMarkovianStream) {
+  Hmm hmm = ChainHmm();
+  Rng rng(6);
+  std::vector<uint32_t> states, obs;
+  ASSERT_TRUE(hmm.Sample(60, &rng, &states, &obs).ok());
+  auto stream = SmoothToMarkovianStream(hmm, obs, ChainSchema(), {});
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream->length(), 60u);
+  EXPECT_TRUE(stream->Validate().ok());
+}
+
+TEST(SmootherTest, PerfectObservationsRecoverTruth) {
+  // Fully observable variant: each state has its own symbol.
+  Hmm hmm(3, 3);
+  hmm.SetInitial(Distribution::FromPairs({{0, 1.0}}));
+  hmm.SetTransitionRow(0, {{0, 0.5}, {1, 0.5}});
+  hmm.SetTransitionRow(1, {{0, 0.25}, {1, 0.5}, {2, 0.25}});
+  hmm.SetTransitionRow(2, {{1, 0.5}, {2, 0.5}});
+  for (uint32_t s = 0; s < 3; ++s) hmm.SetEmissionRow(s, {{s, 1.0}});
+
+  Rng rng(7);
+  std::vector<uint32_t> states, obs;
+  ASSERT_TRUE(hmm.Sample(40, &rng, &states, &obs).ok());
+  auto stream = SmoothToMarkovianStream(hmm, obs, ChainSchema(),
+                                        {.truncate_eps = 0.0});
+  ASSERT_TRUE(stream.ok());
+  for (uint64_t t = 0; t < stream->length(); ++t) {
+    EXPECT_NEAR(stream->marginal(t).ProbabilityOf(states[t]), 1.0, 1e-9);
+    EXPECT_EQ(stream->marginal(t).support_size(), 1u);
+  }
+}
+
+TEST(SmootherTest, SilenceBetweenBeepsFillsGapsProbabilistically) {
+  // Observation: beepA, silence x3, beepC. The smoothed stream must put
+  // the person near A at the start, near C at the end, and spread mass over
+  // the chain in between — with zero support for C at t=0.
+  Hmm hmm = ChainHmm();
+  std::vector<uint32_t> obs = {1, 0, 0, 0, 2};
+  auto stream = SmoothToMarkovianStream(hmm, obs, ChainSchema(),
+                                        {.truncate_eps = 0.0});
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_TRUE(stream->Validate().ok());
+  EXPECT_GT(stream->marginal(0).ProbabilityOf(0), 0.99);
+  EXPECT_GT(stream->marginal(4).ProbabilityOf(2), 0.9);
+  // Mid-way: support on the middle state.
+  EXPECT_GT(stream->marginal(2).ProbabilityOf(1), 0.1);
+}
+
+TEST(SmootherTest, TruncationSparsifiesSupports) {
+  Hmm hmm = ChainHmm();
+  // A long silent gap spreads mass over the whole chain; aggressive
+  // truncation must then prune low-probability states.
+  std::vector<uint32_t> obs = {1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2};
+  auto exact = SmoothToMarkovianStream(hmm, obs, ChainSchema(),
+                                       {.truncate_eps = 0.0});
+  auto truncated = SmoothToMarkovianStream(hmm, obs, ChainSchema(),
+                                           {.truncate_eps = 0.25});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_TRUE(truncated->Validate().ok());
+  uint64_t exact_support = 0, truncated_support = 0;
+  for (uint64_t t = 0; t < exact->length(); ++t) {
+    exact_support += exact->marginal(t).support_size();
+    truncated_support += truncated->marginal(t).support_size();
+  }
+  EXPECT_LT(truncated_support, exact_support);
+}
+
+TEST(SmootherTest, RejectsBadInput) {
+  Hmm hmm = ChainHmm();
+  EXPECT_FALSE(SmoothToMarkovianStream(hmm, {}, ChainSchema(), {}).ok());
+  EXPECT_FALSE(
+      SmoothToMarkovianStream(hmm, {0, 9}, ChainSchema(), {}).ok());
+  StreamSchema wrong = SingleAttributeSchema("loc", {"A", "B"});
+  EXPECT_FALSE(SmoothToMarkovianStream(hmm, {0, 0}, wrong, {}).ok());
+}
+
+TEST(SmootherTest, ImpossibleObservationSequenceIsRejected) {
+  // beepC at t=0 is impossible: the chain starts at A and C's symbol
+  // cannot be emitted from A... (A emits silence/beepA only).
+  Hmm hmm = ChainHmm();
+  auto stream = SmoothToMarkovianStream(hmm, {2}, ChainSchema(), {});
+  EXPECT_EQ(stream.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SmootherTest, SmoothedEventProbabilityIsSensible) {
+  // Event query "A then B" on a smoothed stream where the trajectory is
+  // known to go A->B quickly: the signal must spike above 0.2 somewhere.
+  Hmm hmm = ChainHmm();
+  std::vector<uint32_t> obs = {1, 1, 0, 0, 0, 0, 2, 2};
+  auto stream = SmoothToMarkovianStream(hmm, obs, ChainSchema(),
+                                        {.truncate_eps = 1e-4});
+  ASSERT_TRUE(stream.ok());
+  RegularQuery query = RegularQuery::Sequence(
+      "AB", {Predicate::Equality(0, 0, "A"), Predicate::Equality(0, 1, "B")});
+  std::vector<double> signal = RunRegOverStream(query, *stream);
+  double peak = 0;
+  for (double p : signal) peak = std::max(peak, p);
+  EXPECT_GT(peak, 0.2);
+}
+
+TEST(ParticleSmootherTest, OutputIsValidAndConsistent) {
+  Hmm hmm = ChainHmm();
+  Rng rng(9);
+  std::vector<uint32_t> states, obs;
+  ASSERT_TRUE(hmm.Sample(50, &rng, &states, &obs).ok());
+  auto stream = ParticleSmoothToMarkovianStream(
+      hmm, obs, ChainSchema(), {.num_particles = 512, .num_trajectories = 256});
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream->length(), 50u);
+  // Counts are exactly self-consistent by construction.
+  EXPECT_TRUE(stream->Validate(1e-9).ok());
+}
+
+TEST(ParticleSmootherTest, AgreesWithExactSmootherOnMarginals) {
+  Hmm hmm = ChainHmm();
+  std::vector<uint32_t> obs = {1, 0, 0, 0, 2, 0, 0, 1};
+  auto exact = SmoothToMarkovianStream(hmm, obs, ChainSchema(),
+                                       {.truncate_eps = 0.0});
+  auto particle = ParticleSmoothToMarkovianStream(
+      hmm, obs, ChainSchema(),
+      {.num_particles = 4096, .num_trajectories = 4096, .seed = 11});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(particle.ok());
+  for (uint64_t t = 0; t < exact->length(); ++t) {
+    for (uint32_t s = 0; s < 3; ++s) {
+      EXPECT_NEAR(particle->marginal(t).ProbabilityOf(s),
+                  exact->marginal(t).ProbabilityOf(s), 0.08)
+          << "t=" << t << " s=" << s;
+    }
+  }
+}
+
+TEST(ParticleSmootherTest, RejectsBadOptions) {
+  Hmm hmm = ChainHmm();
+  EXPECT_FALSE(ParticleSmoothToMarkovianStream(hmm, {0}, ChainSchema(),
+                                               {.num_particles = 0})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace caldera

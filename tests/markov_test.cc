@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/encoding.h"
+#include "common/rng.h"
+#include "markov/cpt.h"
+#include "markov/distribution.h"
+#include "markov/schema.h"
+#include "markov/stream.h"
+#include "test_util.h"
+
+namespace caldera {
+namespace {
+
+TEST(DistributionTest, FromPairsSortsAndMerges) {
+  Distribution d = Distribution::FromPairs({{5, 0.2}, {1, 0.3}, {5, 0.1}});
+  ASSERT_EQ(d.support_size(), 2u);
+  EXPECT_EQ(d.entries()[0].value, 1u);
+  EXPECT_DOUBLE_EQ(d.entries()[0].prob, 0.3);
+  EXPECT_EQ(d.entries()[1].value, 5u);
+  EXPECT_DOUBLE_EQ(d.entries()[1].prob, 0.30000000000000004);
+}
+
+TEST(DistributionTest, ProbabilityOfAndMass) {
+  Distribution d = Distribution::FromPairs({{0, 0.5}, {3, 0.25}, {9, 0.25}});
+  EXPECT_DOUBLE_EQ(d.ProbabilityOf(0), 0.5);
+  EXPECT_DOUBLE_EQ(d.ProbabilityOf(3), 0.25);
+  EXPECT_DOUBLE_EQ(d.ProbabilityOf(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Mass(), 1.0);
+  EXPECT_TRUE(d.IsNormalized());
+}
+
+TEST(DistributionTest, FromDenseDropsZeros) {
+  Distribution d = Distribution::FromDense({0.0, 0.5, 0.0, 0.5});
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_DOUBLE_EQ(d.ProbabilityOf(1), 0.5);
+  EXPECT_DOUBLE_EQ(d.ProbabilityOf(3), 0.5);
+}
+
+TEST(DistributionTest, NormalizeAndTruncate) {
+  Distribution d = Distribution::FromPairs({{0, 2.0}, {1, 1.0}, {2, 0.001}});
+  d.Normalize();
+  EXPECT_TRUE(d.IsNormalized());
+  d.Truncate(0.01);
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_TRUE(d.IsNormalized());
+  EXPECT_NEAR(d.ProbabilityOf(0), 2.0 / 3.0, 1e-9);
+}
+
+TEST(DistributionTest, AddKeepsOrder) {
+  Distribution d;
+  d.Add(5, 0.5);
+  d.Add(1, 0.2);
+  d.Add(5, 0.1);
+  d.Add(3, 0.2);
+  ASSERT_EQ(d.support_size(), 3u);
+  EXPECT_EQ(d.entries()[0].value, 1u);
+  EXPECT_EQ(d.entries()[1].value, 3u);
+  EXPECT_EQ(d.entries()[2].value, 5u);
+  EXPECT_NEAR(d.ProbabilityOf(5), 0.6, 1e-12);
+}
+
+TEST(DistributionTest, MassWhere) {
+  Distribution d = Distribution::FromPairs({{0, 0.1}, {1, 0.2}, {2, 0.7}});
+  EXPECT_DOUBLE_EQ(d.MassWhere([](ValueId v) { return v >= 1; }), 0.9);
+  EXPECT_DOUBLE_EQ(d.MassWhere([](ValueId v) { return v == 42; }), 0.0);
+}
+
+TEST(DistributionTest, SerializationRoundTrip) {
+  Distribution d = Distribution::FromPairs({{0, 0.125}, {7, 0.5}, {9, 0.375}});
+  std::string buf;
+  d.AppendTo(&buf);
+  size_t offset = 0;
+  auto parsed = Distribution::Parse(buf, &offset);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, d);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(DistributionTest, ParseRejectsTruncation) {
+  Distribution d = Distribution::FromPairs({{1, 1.0}});
+  std::string buf;
+  d.AppendTo(&buf);
+  buf.resize(buf.size() - 1);
+  size_t offset = 0;
+  EXPECT_FALSE(Distribution::Parse(buf, &offset).ok());
+}
+
+TEST(DistributionTest, ParseRejectsUnsortedEntries) {
+  std::string buf;
+  PutFixed32(2, &buf);
+  PutFixed32(5, &buf);
+  PutDouble(0.5, &buf);
+  PutFixed32(3, &buf);  // Out of order.
+  PutDouble(0.5, &buf);
+  size_t offset = 0;
+  EXPECT_EQ(Distribution::Parse(buf, &offset).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CptTest, SetRowFindRowProbability) {
+  Cpt cpt;
+  cpt.SetRow(3, {{1, 0.25}, {0, 0.75}});
+  cpt.SetRow(1, {{1, 1.0}});
+  ASSERT_NE(cpt.FindRow(3), nullptr);
+  EXPECT_EQ(cpt.FindRow(2), nullptr);
+  EXPECT_DOUBLE_EQ(cpt.Probability(3, 0), 0.75);
+  EXPECT_DOUBLE_EQ(cpt.Probability(3, 1), 0.25);
+  EXPECT_DOUBLE_EQ(cpt.Probability(3, 2), 0.0);
+  EXPECT_DOUBLE_EQ(cpt.Probability(9, 0), 0.0);
+  EXPECT_EQ(cpt.nnz(), 3u);
+}
+
+TEST(CptTest, PropagateMatchesHandComputation) {
+  // The paper's wall example: Bob in O1 or O2 with prob 0.5 each; no move
+  // from O1 to O2 is possible.
+  Cpt cpt;
+  cpt.SetRow(0, {{0, 1.0}});           // O1 stays in O1.
+  cpt.SetRow(1, {{0, 0.5}, {1, 0.5}}); // O2 may move to O1.
+  Distribution in = Distribution::FromPairs({{0, 0.5}, {1, 0.5}});
+  Distribution out = cpt.Propagate(in);
+  EXPECT_DOUBLE_EQ(out.ProbabilityOf(0), 0.75);
+  EXPECT_DOUBLE_EQ(out.ProbabilityOf(1), 0.25);
+  // With correlations, P(O1 then O2) = 0.5 * 0 = 0, not 0.25.
+  EXPECT_DOUBLE_EQ(cpt.Probability(0, 1), 0.0);
+}
+
+TEST(CptTest, PropagateDropsUnsupportedSources) {
+  Cpt cpt;
+  cpt.SetRow(0, {{0, 1.0}});
+  Distribution in = Distribution::FromPairs({{0, 0.5}, {1, 0.5}});
+  Distribution out = cpt.Propagate(in);
+  EXPECT_DOUBLE_EQ(out.Mass(), 0.5);
+}
+
+TEST(CptTest, ValidateStochastic) {
+  Cpt good;
+  good.SetRow(0, {{0, 0.5}, {1, 0.5}});
+  EXPECT_TRUE(good.ValidateStochastic().ok());
+  Cpt bad;
+  bad.SetRow(0, {{0, 0.5}, {1, 0.4}});
+  EXPECT_EQ(bad.ValidateStochastic().code(), StatusCode::kCorruption);
+  Cpt negative;
+  negative.SetRow(0, {{0, 1.5}, {1, -0.5}});
+  EXPECT_EQ(negative.ValidateStochastic().code(), StatusCode::kCorruption);
+}
+
+TEST(CptTest, SerializationRoundTrip) {
+  Cpt cpt;
+  cpt.SetRow(2, {{0, 0.25}, {5, 0.75}});
+  cpt.SetRow(7, {{7, 1.0}});
+  std::string buf;
+  cpt.AppendTo(&buf);
+  size_t offset = 0;
+  auto parsed = Cpt::Parse(buf, &offset);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, cpt);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(CptTest, ComposeMatchesMatrixProduct) {
+  // Random 6x6 stochastic matrices; compare sparse composition against a
+  // dense reference product.
+  const uint32_t n = 6;
+  Rng rng(77);
+  auto random_cpt = [&](Cpt* cpt, std::vector<std::vector<double>>* dense) {
+    dense->assign(n, std::vector<double>(n, 0.0));
+    for (uint32_t i = 0; i < n; ++i) {
+      double sum = 0;
+      std::vector<Cpt::RowEntry> row;
+      for (uint32_t j = 0; j < n; ++j) {
+        if (rng.NextBool(0.4)) {
+          double v = rng.NextDouble() + 0.01;
+          (*dense)[i][j] = v;
+          sum += v;
+        }
+      }
+      if (sum == 0) {
+        (*dense)[i][i] = 1.0;
+        sum = 1.0;
+      }
+      for (uint32_t j = 0; j < n; ++j) {
+        (*dense)[i][j] /= sum;
+        if ((*dense)[i][j] > 0) row.push_back({j, (*dense)[i][j]});
+      }
+      cpt->SetRow(i, std::move(row));
+    }
+  };
+  Cpt a, b;
+  std::vector<std::vector<double>> da, db;
+  random_cpt(&a, &da);
+  random_cpt(&b, &db);
+  Cpt ab = ComposeCpts(a, b, n);
+  EXPECT_TRUE(ab.ValidateStochastic(1e-9).ok());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      double expected = 0;
+      for (uint32_t k = 0; k < n; ++k) expected += da[i][k] * db[k][j];
+      EXPECT_NEAR(ab.Probability(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(CptTest, ComposeIsAssociative) {
+  const uint32_t n = 5;
+  Rng rng(99);
+  auto random_cpt = [&] {
+    Cpt cpt;
+    for (uint32_t i = 0; i < n; ++i) {
+      std::vector<Cpt::RowEntry> row;
+      double sum = 0;
+      for (uint32_t j = 0; j < n; ++j) {
+        double v = rng.NextDouble();
+        row.push_back({j, v});
+        sum += v;
+      }
+      for (auto& e : row) e.prob /= sum;
+      cpt.SetRow(i, std::move(row));
+    }
+    return cpt;
+  };
+  Cpt a = random_cpt(), b = random_cpt(), c = random_cpt();
+  Cpt left = ComposeCpts(ComposeCpts(a, b, n), c, n);
+  Cpt right = ComposeCpts(a, ComposeCpts(b, c, n), n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(left.Probability(i, j), right.Probability(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(CptTest, IdentityCptIsNeutral) {
+  Cpt id = IdentityCpt({0, 1, 2, 3});
+  Cpt a;
+  a.SetRow(0, {{1, 0.5}, {2, 0.5}});
+  a.SetRow(1, {{1, 1.0}});
+  a.SetRow(2, {{3, 1.0}});
+  a.SetRow(3, {{0, 1.0}});
+  Cpt left = ComposeCpts(id, a, 4);
+  Cpt right = ComposeCpts(a, id, 4);
+  EXPECT_EQ(left, a);
+  EXPECT_EQ(right, a);
+}
+
+TEST(CptTest, ConditionDestinationKeepsOnlyMatches) {
+  Cpt a;
+  a.SetRow(0, {{0, 0.3}, {1, 0.3}, {2, 0.4}});
+  a.SetRow(1, {{2, 1.0}});
+  Cpt conditioned = a.ConditionDestination([](ValueId v) { return v != 2; });
+  EXPECT_DOUBLE_EQ(conditioned.Probability(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(conditioned.Probability(0, 2), 0.0);
+  EXPECT_EQ(conditioned.FindRow(1), nullptr);
+}
+
+TEST(SchemaTest, SingleAttribute) {
+  StreamSchema schema = SingleAttributeSchema("loc", {"A", "B", "C"});
+  EXPECT_EQ(schema.num_attributes(), 1u);
+  EXPECT_EQ(schema.state_count(), 3u);
+  EXPECT_EQ(schema.AttributeValue(2, 0), 2u);
+  EXPECT_EQ(schema.StateLabel(1), "loc=B");
+  auto idx = schema.AttributeIndex("loc");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 0u);
+  auto v = schema.ValueOf(0, "C");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 2u);
+  EXPECT_FALSE(schema.ValueOf(0, "Z").ok());
+}
+
+TEST(SchemaTest, MultiAttributeMixedRadix) {
+  StreamSchema schema;
+  schema.AddAttribute("loc", {"A", "B", "C"});
+  schema.AddAttribute("state", {"idle", "busy"});
+  EXPECT_EQ(schema.state_count(), 6u);
+  for (uint32_t loc = 0; loc < 3; ++loc) {
+    for (uint32_t st = 0; st < 2; ++st) {
+      ValueId encoded = schema.EncodeState({loc, st});
+      EXPECT_LT(encoded, 6u);
+      EXPECT_EQ(schema.AttributeValue(encoded, 0), loc);
+      EXPECT_EQ(schema.AttributeValue(encoded, 1), st);
+    }
+  }
+  EXPECT_EQ(schema.StateLabel(schema.EncodeState({2, 1})),
+            "loc=C,state=busy");
+}
+
+TEST(SchemaTest, SerializationRoundTrip) {
+  StreamSchema schema;
+  schema.AddAttribute("loc", {"A", "B"});
+  schema.AddAttribute("mode", {"x", "y", "z"});
+  std::string buf;
+  schema.AppendTo(&buf);
+  size_t offset = 0;
+  auto parsed = StreamSchema::Parse(buf, &offset);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, schema);
+}
+
+using test::MakeValidStream;
+
+TEST(StreamTest, ValidStreamValidates) {
+  MarkovianStream stream = MakeValidStream(50, 8, 3);
+  EXPECT_TRUE(stream.Validate().ok());
+  EXPECT_EQ(stream.length(), 50u);
+}
+
+TEST(StreamTest, ValidateCatchesInconsistentMarginal) {
+  MarkovianStream stream = MakeValidStream(10, 4, 5);
+  *stream.mutable_marginal(5) = Distribution::Point(0);
+  EXPECT_EQ(stream.Validate().code(), StatusCode::kCorruption);
+}
+
+TEST(StreamTest, ValidateCatchesNonStochasticCpt) {
+  MarkovianStream stream = MakeValidStream(10, 4, 6);
+  Cpt* cpt = stream.mutable_transition(3);
+  Cpt broken;
+  for (const Cpt::Row& row : cpt->rows()) {
+    std::vector<Cpt::RowEntry> entries = row.entries;
+    for (auto& e : entries) e.prob *= 0.5;
+    broken.SetRow(row.src, std::move(entries));
+  }
+  *cpt = broken;
+  EXPECT_EQ(stream.Validate().code(), StatusCode::kCorruption);
+}
+
+TEST(StreamTest, ValidateCatchesMissingRow) {
+  MarkovianStream stream = MakeValidStream(10, 4, 7);
+  *stream.mutable_transition(4) = Cpt();  // No rows at all.
+  EXPECT_EQ(stream.Validate().code(), StatusCode::kCorruption);
+}
+
+TEST(StreamTest, RelabelValuesPreservesValidity) {
+  MarkovianStream stream = MakeValidStream(30, 6, 8);
+  std::vector<double> before;
+  for (uint64_t t = 0; t < stream.length(); ++t) {
+    before.push_back(stream.marginal(t).ProbabilityOf(2));
+  }
+  std::vector<ValueId> perm = {0, 1, 5, 3, 4, 2};  // Swap 2 <-> 5.
+  stream.RelabelValues(perm);
+  EXPECT_TRUE(stream.Validate().ok());
+  for (uint64_t t = 0; t < stream.length(); ++t) {
+    EXPECT_DOUBLE_EQ(stream.marginal(t).ProbabilityOf(5), before[t]);
+  }
+}
+
+TEST(StreamTest, ConcatenateWithBridge) {
+  MarkovianStream a = MakeValidStream(20, 5, 10);
+  MarkovianStream b = MakeValidStream(15, 5, 11);
+  // Independence bridge.
+  Cpt bridge;
+  std::vector<Cpt::RowEntry> to;
+  for (const Distribution::Entry& e : b.marginal(0).entries()) {
+    to.push_back({e.value, e.prob});
+  }
+  for (const Distribution::Entry& e : a.marginal(19).entries()) {
+    bridge.SetRow(e.value, to);
+  }
+  ASSERT_TRUE(a.Concatenate(b, bridge).ok());
+  EXPECT_EQ(a.length(), 35u);
+  EXPECT_TRUE(a.Validate().ok());
+}
+
+TEST(StreamTest, ConcatenateRejectsMissingBridgeRow) {
+  MarkovianStream a = MakeValidStream(5, 4, 12);
+  MarkovianStream b = MakeValidStream(5, 4, 13);
+  EXPECT_EQ(a.Concatenate(b, Cpt()).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace caldera

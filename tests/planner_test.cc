@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "caldera/planner.h"
+#include "common/logging.h"
+#include "rfid/workload.h"
+#include "test_util.h"
+
+namespace caldera {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : scratch_("planner_test") {}
+
+  std::unique_ptr<ArchivedStream> Archive(const MarkovianStream& stream,
+                                          bool btc, bool btp, bool mc) {
+    StreamArchive archive(scratch_.Path("archive"));
+    CALDERA_CHECK_OK(
+        archive.CreateStream("s", stream, DiskLayout::kSeparated));
+    if (btc) CALDERA_CHECK_OK(archive.BuildBtc("s", 0));
+    if (btp) CALDERA_CHECK_OK(archive.BuildBtp("s", 0));
+    if (mc) CALDERA_CHECK_OK(archive.BuildMc("s", {}));
+    auto opened = archive.OpenStream("s");
+    CALDERA_CHECK_OK(opened.status());
+    return std::move(*opened);
+  }
+
+  test::ScratchDir scratch_;
+};
+
+RegularQuery Fixed(uint32_t a, uint32_t b) {
+  return RegularQuery::Sequence(
+      "f", {Predicate::Equality(0, a, "a"), Predicate::Equality(0, b, "b")});
+}
+
+RegularQuery Variable(uint32_t a, uint32_t b) {
+  Predicate t = Predicate::Equality(0, b, "b");
+  return RegularQuery(
+      "v", {QueryLink{std::nullopt, Predicate::Equality(0, a, "a")},
+            QueryLink{Predicate::Not(t), t}});
+}
+
+TEST_F(PlannerTest, DensityEstimateTracksActualDensity) {
+  SnippetStreamSpec spec;
+  spec.num_snippets = 20;
+  spec.density = 0.2;
+  spec.seed = 3;
+  auto workload = MakeSnippetStream(spec);
+  ASSERT_TRUE(workload.ok());
+  auto archived = Archive(workload->stream, true, true, false);
+  // Density is defined by the MOST relevant predicate; the hallway of the
+  // target room is touched by every snippet, so expect a high estimate for
+  // the fixed query but a small one for a room-only query.
+  RegularQuery room_only = RegularQuery::Sequence(
+      "room", {Predicate::Equality(0, workload->target_room, "room")});
+  auto density = EstimateDensity(archived.get(), room_only);
+  ASSERT_TRUE(density.ok());
+  EXPECT_LT(*density, 0.4);
+}
+
+TEST_F(PlannerTest, SparseFixedQueryUsesBTree) {
+  // Low-density snippet workload: both the target room and its hallway are
+  // rare, so the planner must choose the B+Tree method.
+  SnippetStreamSpec spec;
+  spec.num_snippets = 25;
+  spec.density = 0.15;
+  spec.seed = 4;
+  auto workload = MakeSnippetStream(spec);
+  ASSERT_TRUE(workload.ok());
+  auto archived = Archive(workload->stream, true, true, true);
+  auto plan =
+      PlanQuery(archived.get(), workload->EnteredRoomFixed(), false, false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->method, AccessMethodKind::kBTree);
+  EXPECT_LT(plan->estimated_density, 0.8);
+}
+
+TEST_F(PlannerTest, DenseFixedQueryFallsBackToScan) {
+  // Every timestep has support on both values.
+  StreamSchema schema = SingleAttributeSchema("loc", {"a", "b"});
+  MarkovianStream stream(schema);
+  Distribution current = Distribution::FromPairs({{0, 0.5}, {1, 0.5}});
+  stream.Append(current, Cpt());
+  for (int t = 1; t < 100; ++t) {
+    Cpt cpt;
+    cpt.SetRow(0, {{0, 0.5}, {1, 0.5}});
+    cpt.SetRow(1, {{0, 0.5}, {1, 0.5}});
+    current = cpt.Propagate(current);
+    stream.Append(current, std::move(cpt));
+  }
+  auto archived = Archive(stream, true, true, false);
+  auto plan = PlanQuery(archived.get(), Fixed(0, 1), false, false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->method, AccessMethodKind::kScan);
+  EXPECT_GT(plan->estimated_density, 0.9);
+}
+
+TEST_F(PlannerTest, DenseTopKQueryUsesTopK) {
+  StreamSchema schema = SingleAttributeSchema("loc", {"a", "b"});
+  MarkovianStream stream(schema);
+  Distribution current = Distribution::FromPairs({{0, 0.5}, {1, 0.5}});
+  stream.Append(current, Cpt());
+  for (int t = 1; t < 100; ++t) {
+    Cpt cpt;
+    cpt.SetRow(0, {{0, 0.5}, {1, 0.5}});
+    cpt.SetRow(1, {{0, 0.5}, {1, 0.5}});
+    current = cpt.Propagate(current);
+    stream.Append(current, std::move(cpt));
+  }
+  auto archived = Archive(stream, true, true, false);
+  auto plan = PlanQuery(archived.get(), Fixed(0, 1), /*want_topk=*/true,
+                        false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->method, AccessMethodKind::kTopK);
+}
+
+TEST_F(PlannerTest, VariableQueryPrefersMcIndex) {
+  MarkovianStream stream = test::MakeBandedStream(200, 16, 5);
+  auto archived = Archive(stream, true, true, true);
+  auto plan = PlanQuery(archived.get(), Variable(3, 12), false, false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->method, AccessMethodKind::kMcIndex);
+}
+
+TEST_F(PlannerTest, VariableQueryApproximationAllowed) {
+  MarkovianStream stream = test::MakeBandedStream(200, 16, 6);
+  auto archived = Archive(stream, true, true, true);
+  auto plan = PlanQuery(archived.get(), Variable(3, 12), false, true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->method, AccessMethodKind::kSemiIndependent);
+}
+
+TEST_F(PlannerTest, VariableQueryWithoutMcFallsBackToScan) {
+  MarkovianStream stream = test::MakeBandedStream(200, 16, 7);
+  auto archived = Archive(stream, true, true, false);
+  auto plan = PlanQuery(archived.get(), Variable(3, 12), false, false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->method, AccessMethodKind::kScan);
+}
+
+TEST_F(PlannerTest, MissingBtcForcesScan) {
+  MarkovianStream stream = test::MakeBandedStream(100, 16, 8);
+  auto archived = Archive(stream, false, false, false);
+  auto plan = PlanQuery(archived.get(), Fixed(2, 3), false, false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->method, AccessMethodKind::kScan);
+}
+
+}  // namespace
+}  // namespace caldera

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/encoding.h"
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+#include "storage/record_file.h"
+
+namespace caldera {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("caldera_storage_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageTest, FileWriteReadRoundTrip) {
+  auto file = File::OpenOrCreate(Path("f"));
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  EXPECT_EQ((*file)->size(), 11u);
+  char buf[11];
+  ASSERT_TRUE((*file)->ReadAt(0, 11, buf).ok());
+  EXPECT_EQ(std::string(buf, 11), "hello world");
+  ASSERT_TRUE((*file)->ReadAt(6, 5, buf).ok());
+  EXPECT_EQ(std::string(buf, 5), "world");
+}
+
+TEST_F(StorageTest, FileShortReadIsError) {
+  auto file = File::OpenOrCreate(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abc").ok());
+  char buf[10];
+  Status st = (*file)->ReadAt(0, 10, buf);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST_F(StorageTest, OpenReadOnlyMissingIsNotFound) {
+  auto file = File::OpenReadOnly(Path("missing"));
+  EXPECT_EQ(file.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, FileTruncateShrinksAndGrows) {
+  auto file = File::OpenOrCreate(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789").ok());
+  ASSERT_TRUE((*file)->Truncate(4).ok());
+  EXPECT_EQ((*file)->size(), 4u);
+  ASSERT_TRUE((*file)->Truncate(8).ok());
+  char buf[8];
+  ASSERT_TRUE((*file)->ReadAt(0, 8, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "0123");
+  EXPECT_EQ(std::string(buf + 4, 4), std::string(4, '\0'));
+}
+
+TEST_F(StorageTest, PagerAllocateReadWrite) {
+  auto pager = Pager::Create(Path("p"), 512);
+  ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+  EXPECT_EQ((*pager)->page_count(), 1u);  // Header page.
+  auto p1 = (*pager)->AllocatePage();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p1, 1u);
+  std::string data(512, 'x');
+  ASSERT_TRUE((*pager)->WritePage(*p1, data.data()).ok());
+  char buf[512];
+  ASSERT_TRUE((*pager)->ReadPage(*p1, buf).ok());
+  EXPECT_EQ(std::memcmp(buf, data.data(), 512), 0);
+}
+
+TEST_F(StorageTest, PagerRejectsBadPageSize) {
+  EXPECT_EQ(Pager::Create(Path("p"), 100).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Pager::Create(Path("p"), 1000).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StorageTest, PagerRejectsOutOfRangeAccess) {
+  auto pager = Pager::Create(Path("p"), 512);
+  ASSERT_TRUE(pager.ok());
+  char buf[512];
+  EXPECT_EQ((*pager)->ReadPage(5, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ((*pager)->WritePage(0, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageTest, PagerPersistsAcrossReopen) {
+  {
+    auto pager = Pager::Create(Path("p"), 1024);
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::string data(1024, 'z');
+    ASSERT_TRUE((*pager)->WritePage(*id, data.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  auto pager = Pager::Open(Path("p"));
+  ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+  EXPECT_EQ((*pager)->page_size(), 1024u);
+  EXPECT_EQ((*pager)->page_count(), 2u);
+  char buf[1024];
+  ASSERT_TRUE((*pager)->ReadPage(1, buf).ok());
+  EXPECT_EQ(buf[17], 'z');
+}
+
+TEST_F(StorageTest, PagerOpenRejectsGarbage) {
+  {
+    auto file = File::OpenOrCreate(Path("p"));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(2048, 'g')).ok());
+  }
+  EXPECT_EQ(Pager::Open(Path("p")).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, BufferPoolCachesPages) {
+  auto pager = Pager::Create(Path("p"), 512);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE((*pager)->AllocatePage().ok());
+  BufferPool pool(pager->get(), 8);
+  for (int round = 0; round < 3; ++round) {
+    for (PageId id = 1; id <= 4; ++id) {
+      auto handle = pool.Fetch(id);
+      ASSERT_TRUE(handle.ok());
+      EXPECT_EQ(handle->page_id(), id);
+    }
+  }
+  EXPECT_EQ(pool.stats().fetches, 12u);
+  EXPECT_EQ(pool.stats().misses, 4u);
+  EXPECT_EQ(pool.stats().hits, 8u);
+}
+
+TEST_F(StorageTest, BufferPoolEvictsLru) {
+  auto pager = Pager::Create(Path("p"), 512);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE((*pager)->AllocatePage().ok());
+  BufferPool pool(pager->get(), 2);
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(2).ok());
+  ASSERT_TRUE(pool.Fetch(3).ok());  // Evicts page 1.
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  ASSERT_TRUE(pool.Fetch(2).ok());  // Still resident.
+  EXPECT_EQ(pool.stats().hits, 1u);
+  ASSERT_TRUE(pool.Fetch(1).ok());  // Miss again.
+  EXPECT_EQ(pool.stats().misses, 4u);
+}
+
+TEST_F(StorageTest, BufferPoolWritesBackDirtyPages) {
+  auto pager = Pager::Create(Path("p"), 512);
+  ASSERT_TRUE(pager.ok());
+  ASSERT_TRUE((*pager)->AllocatePage().ok());
+  {
+    BufferPool pool(pager->get(), 2);
+    auto handle = pool.Fetch(1);
+    ASSERT_TRUE(handle.ok());
+    handle->data()[0] = 'D';
+    handle->MarkDirty();
+    handle->Release();
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  char buf[512];
+  ASSERT_TRUE((*pager)->ReadPage(1, buf).ok());
+  EXPECT_EQ(buf[0], 'D');
+}
+
+TEST_F(StorageTest, BufferPoolExhaustionWhenAllPinned) {
+  auto pager = Pager::Create(Path("p"), 512);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE((*pager)->AllocatePage().ok());
+  BufferPool pool(pager->get(), 2);
+  auto h1 = pool.Fetch(1);
+  auto h2 = pool.Fetch(2);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  auto h3 = pool.Fetch(3);
+  EXPECT_EQ(h3.status().code(), StatusCode::kResourceExhausted);
+  h1->Release();
+  auto h3b = pool.Fetch(3);
+  EXPECT_TRUE(h3b.ok());
+}
+
+TEST_F(StorageTest, RecordFileRoundTrip) {
+  {
+    auto writer = RecordFileWriter::Create(Path("r"), 512);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (int i = 0; i < 100; ++i) {
+      std::string record = "record-" + std::to_string(i) + "-" +
+                           std::string(i % 37, 'x');
+      auto id = (*writer)->Append(record);
+      ASSERT_TRUE(id.ok());
+      EXPECT_EQ(*id, static_cast<uint64_t>(i));
+    }
+    ASSERT_TRUE((*writer)->Finalize().ok());
+  }
+  auto reader = RecordFileReader::Open(Path("r"));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->num_records(), 100u);
+  std::string out;
+  for (int i : {0, 1, 50, 99, 7}) {
+    ASSERT_TRUE((*reader)->Get(i, &out).ok());
+    EXPECT_EQ(out, "record-" + std::to_string(i) + "-" +
+                       std::string(i % 37, 'x'));
+  }
+}
+
+TEST_F(StorageTest, RecordFileHandlesEmptyRecordsAndSpanningRecords) {
+  {
+    auto writer = RecordFileWriter::Create(Path("r"), 512);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("").ok());
+    ASSERT_TRUE((*writer)->Append(std::string(5000, 'b')).ok());  // ~10 pages
+    ASSERT_TRUE((*writer)->Append("tail").ok());
+    ASSERT_TRUE((*writer)->Finalize().ok());
+  }
+  auto reader = RecordFileReader::Open(Path("r"));
+  ASSERT_TRUE(reader.ok());
+  std::string out;
+  ASSERT_TRUE((*reader)->Get(0, &out).ok());
+  EXPECT_EQ(out, "");
+  ASSERT_TRUE((*reader)->Get(1, &out).ok());
+  EXPECT_EQ(out, std::string(5000, 'b'));
+  ASSERT_TRUE((*reader)->Get(2, &out).ok());
+  EXPECT_EQ(out, "tail");
+}
+
+TEST_F(StorageTest, RecordFileGetOutOfRange) {
+  {
+    auto writer = RecordFileWriter::Create(Path("r"), 512);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("x").ok());
+    ASSERT_TRUE((*writer)->Finalize().ok());
+  }
+  auto reader = RecordFileReader::Open(Path("r"));
+  ASSERT_TRUE(reader.ok());
+  std::string out;
+  EXPECT_EQ((*reader)->Get(1, &out).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageTest, RecordFileEmptyFile) {
+  {
+    auto writer = RecordFileWriter::Create(Path("r"), 512);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Finalize().ok());
+  }
+  auto reader = RecordFileReader::Open(Path("r"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_records(), 0u);
+}
+
+TEST_F(StorageTest, RecordFileAppendAfterFinalizeFails) {
+  auto writer = RecordFileWriter::Create(Path("r"), 512);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finalize().ok());
+  EXPECT_EQ((*writer)->Append("late").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StorageTest, RecordFileSequentialScanIsPageEfficient) {
+  const int kRecords = 256;
+  {
+    auto writer = RecordFileWriter::Create(Path("r"), 4096);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE((*writer)->Append(std::string(64, 'a' + (i % 26))).ok());
+    }
+    ASSERT_TRUE((*writer)->Finalize().ok());
+  }
+  auto reader = RecordFileReader::Open(Path("r"), /*pool_pages=*/8);
+  ASSERT_TRUE(reader.ok());
+  std::string out;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE((*reader)->Get(i, &out).ok());
+  }
+  // 256 * 64B = 16KiB of data = 4 pages; sequential scan should miss only
+  // ~once per page, not once per record.
+  EXPECT_LE((*reader)->stats().misses, 8u);
+  EXPECT_GE((*reader)->stats().hits, 240u);
+}
+
+TEST_F(StorageTest, RecordFileDetectsTruncatedDirectory) {
+  {
+    auto writer = RecordFileWriter::Create(Path("r"), 512);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*writer)->Append(std::string(100, 'q')).ok());
+    }
+    ASSERT_TRUE((*writer)->Finalize().ok());
+  }
+  // Corrupt the meta page's record count.
+  {
+    auto file = File::OpenOrCreate(Path("r"));
+    ASSERT_TRUE(file.ok());
+    std::string bogus;
+    PutFixed64(999999, &bogus);
+    ASSERT_TRUE((*file)->WriteAt(512 + 8, bogus).ok());
+  }
+  auto reader = RecordFileReader::Open(Path("r"));
+  EXPECT_FALSE(reader.ok());
+}
+
+}  // namespace
+}  // namespace caldera

@@ -1,0 +1,50 @@
+#ifndef CALDERA_TESTS_TEST_UTIL_H_
+#define CALDERA_TESTS_TEST_UTIL_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "markov/stream.h"
+#include "markov/synthetic.h"
+
+namespace caldera {
+namespace test {
+
+/// Library synthetic generators re-exported under their historic test
+/// names.
+inline MarkovianStream MakeValidStream(uint64_t length, uint32_t domain,
+                                       uint64_t seed,
+                                       double edge_prob = 0.5) {
+  return MakeRandomStream(length, domain, seed, edge_prob);
+}
+
+inline MarkovianStream MakeBandedStream(uint64_t length, uint32_t domain,
+                                        uint64_t seed) {
+  return MakeBandedRandomWalkStream(length, domain, seed);
+}
+
+/// RAII scratch directory under the system temp dir.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() / ("caldera_" + tag);
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+
+  std::string Path(const std::string& name) const {
+    return (path_ / name).string();
+  }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace test
+}  // namespace caldera
+
+#endif  // CALDERA_TESTS_TEST_UTIL_H_
