@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c.dir/bench_fig8c.cc.o"
+  "CMakeFiles/bench_fig8c.dir/bench_fig8c.cc.o.d"
+  "bench_fig8c"
+  "bench_fig8c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caldera_cli.dir/caldera_cli.cpp.o"
+  "CMakeFiles/caldera_cli.dir/caldera_cli.cpp.o.d"
+  "caldera_cli"
+  "caldera_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caldera_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

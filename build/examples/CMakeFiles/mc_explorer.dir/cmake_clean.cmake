@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_explorer.dir/mc_explorer.cpp.o"
+  "CMakeFiles/mc_explorer.dir/mc_explorer.cpp.o.d"
+  "mc_explorer"
+  "mc_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

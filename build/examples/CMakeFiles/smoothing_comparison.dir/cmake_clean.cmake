@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoothing_comparison.dir/smoothing_comparison.cpp.o"
+  "CMakeFiles/smoothing_comparison.dir/smoothing_comparison.cpp.o.d"
+  "smoothing_comparison"
+  "smoothing_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoothing_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

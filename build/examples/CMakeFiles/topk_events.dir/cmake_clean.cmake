@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_events.dir/topk_events.cpp.o"
+  "CMakeFiles/topk_events.dir/topk_events.cpp.o.d"
+  "topk_events"
+  "topk_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "/root/repo/build/examples/smoke_quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoothing_comparison "/root/repo/build/examples/smoothing_comparison")
+set_tests_properties(example_smoothing_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mc_explorer "/root/repo/build/examples/mc_explorer" "/root/repo/build/examples/smoke_mc")
+set_tests_properties(example_mc_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rfid_tracking "/root/repo/build/examples/rfid_tracking" "/root/repo/build/examples/smoke_rfid")
+set_tests_properties(example_rfid_tracking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

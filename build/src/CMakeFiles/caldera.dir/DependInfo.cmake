@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/caldera.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/caldera.dir/btree/btree.cc.o.d"
+  "/root/repo/src/caldera/access_method.cc" "src/CMakeFiles/caldera.dir/caldera/access_method.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/access_method.cc.o.d"
+  "/root/repo/src/caldera/archive.cc" "src/CMakeFiles/caldera.dir/caldera/archive.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/archive.cc.o.d"
+  "/root/repo/src/caldera/batch.cc" "src/CMakeFiles/caldera.dir/caldera/batch.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/batch.cc.o.d"
+  "/root/repo/src/caldera/btree_method.cc" "src/CMakeFiles/caldera.dir/caldera/btree_method.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/btree_method.cc.o.d"
+  "/root/repo/src/caldera/intersection.cc" "src/CMakeFiles/caldera.dir/caldera/intersection.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/intersection.cc.o.d"
+  "/root/repo/src/caldera/mc_method.cc" "src/CMakeFiles/caldera.dir/caldera/mc_method.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/mc_method.cc.o.d"
+  "/root/repo/src/caldera/planner.cc" "src/CMakeFiles/caldera.dir/caldera/planner.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/planner.cc.o.d"
+  "/root/repo/src/caldera/scan_method.cc" "src/CMakeFiles/caldera.dir/caldera/scan_method.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/scan_method.cc.o.d"
+  "/root/repo/src/caldera/semi_independent_method.cc" "src/CMakeFiles/caldera.dir/caldera/semi_independent_method.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/semi_independent_method.cc.o.d"
+  "/root/repo/src/caldera/system.cc" "src/CMakeFiles/caldera.dir/caldera/system.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/system.cc.o.d"
+  "/root/repo/src/caldera/topk_method.cc" "src/CMakeFiles/caldera.dir/caldera/topk_method.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/topk_method.cc.o.d"
+  "/root/repo/src/caldera/verify.cc" "src/CMakeFiles/caldera.dir/caldera/verify.cc.o" "gcc" "src/CMakeFiles/caldera.dir/caldera/verify.cc.o.d"
+  "/root/repo/src/common/encoding.cc" "src/CMakeFiles/caldera.dir/common/encoding.cc.o" "gcc" "src/CMakeFiles/caldera.dir/common/encoding.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/caldera.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/caldera.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/caldera.dir/common/status.cc.o" "gcc" "src/CMakeFiles/caldera.dir/common/status.cc.o.d"
+  "/root/repo/src/hmm/hmm.cc" "src/CMakeFiles/caldera.dir/hmm/hmm.cc.o" "gcc" "src/CMakeFiles/caldera.dir/hmm/hmm.cc.o.d"
+  "/root/repo/src/hmm/particle_smoother.cc" "src/CMakeFiles/caldera.dir/hmm/particle_smoother.cc.o" "gcc" "src/CMakeFiles/caldera.dir/hmm/particle_smoother.cc.o.d"
+  "/root/repo/src/hmm/smoother.cc" "src/CMakeFiles/caldera.dir/hmm/smoother.cc.o" "gcc" "src/CMakeFiles/caldera.dir/hmm/smoother.cc.o.d"
+  "/root/repo/src/hmm/viterbi.cc" "src/CMakeFiles/caldera.dir/hmm/viterbi.cc.o" "gcc" "src/CMakeFiles/caldera.dir/hmm/viterbi.cc.o.d"
+  "/root/repo/src/index/btc_index.cc" "src/CMakeFiles/caldera.dir/index/btc_index.cc.o" "gcc" "src/CMakeFiles/caldera.dir/index/btc_index.cc.o.d"
+  "/root/repo/src/index/btp_index.cc" "src/CMakeFiles/caldera.dir/index/btp_index.cc.o" "gcc" "src/CMakeFiles/caldera.dir/index/btp_index.cc.o.d"
+  "/root/repo/src/index/join_index.cc" "src/CMakeFiles/caldera.dir/index/join_index.cc.o" "gcc" "src/CMakeFiles/caldera.dir/index/join_index.cc.o.d"
+  "/root/repo/src/index/mc_index.cc" "src/CMakeFiles/caldera.dir/index/mc_index.cc.o" "gcc" "src/CMakeFiles/caldera.dir/index/mc_index.cc.o.d"
+  "/root/repo/src/markov/cpt.cc" "src/CMakeFiles/caldera.dir/markov/cpt.cc.o" "gcc" "src/CMakeFiles/caldera.dir/markov/cpt.cc.o.d"
+  "/root/repo/src/markov/distribution.cc" "src/CMakeFiles/caldera.dir/markov/distribution.cc.o" "gcc" "src/CMakeFiles/caldera.dir/markov/distribution.cc.o.d"
+  "/root/repo/src/markov/schema.cc" "src/CMakeFiles/caldera.dir/markov/schema.cc.o" "gcc" "src/CMakeFiles/caldera.dir/markov/schema.cc.o.d"
+  "/root/repo/src/markov/stream.cc" "src/CMakeFiles/caldera.dir/markov/stream.cc.o" "gcc" "src/CMakeFiles/caldera.dir/markov/stream.cc.o.d"
+  "/root/repo/src/markov/stream_io.cc" "src/CMakeFiles/caldera.dir/markov/stream_io.cc.o" "gcc" "src/CMakeFiles/caldera.dir/markov/stream_io.cc.o.d"
+  "/root/repo/src/markov/synthetic.cc" "src/CMakeFiles/caldera.dir/markov/synthetic.cc.o" "gcc" "src/CMakeFiles/caldera.dir/markov/synthetic.cc.o.d"
+  "/root/repo/src/query/nfa.cc" "src/CMakeFiles/caldera.dir/query/nfa.cc.o" "gcc" "src/CMakeFiles/caldera.dir/query/nfa.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/caldera.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/caldera.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/caldera.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/caldera.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/regular_query.cc" "src/CMakeFiles/caldera.dir/query/regular_query.cc.o" "gcc" "src/CMakeFiles/caldera.dir/query/regular_query.cc.o.d"
+  "/root/repo/src/reg/reg_operator.cc" "src/CMakeFiles/caldera.dir/reg/reg_operator.cc.o" "gcc" "src/CMakeFiles/caldera.dir/reg/reg_operator.cc.o.d"
+  "/root/repo/src/reg/streaming.cc" "src/CMakeFiles/caldera.dir/reg/streaming.cc.o" "gcc" "src/CMakeFiles/caldera.dir/reg/streaming.cc.o.d"
+  "/root/repo/src/rfid/layout.cc" "src/CMakeFiles/caldera.dir/rfid/layout.cc.o" "gcc" "src/CMakeFiles/caldera.dir/rfid/layout.cc.o.d"
+  "/root/repo/src/rfid/simulator.cc" "src/CMakeFiles/caldera.dir/rfid/simulator.cc.o" "gcc" "src/CMakeFiles/caldera.dir/rfid/simulator.cc.o.d"
+  "/root/repo/src/rfid/workload.cc" "src/CMakeFiles/caldera.dir/rfid/workload.cc.o" "gcc" "src/CMakeFiles/caldera.dir/rfid/workload.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/caldera.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/caldera.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/file.cc" "src/CMakeFiles/caldera.dir/storage/file.cc.o" "gcc" "src/CMakeFiles/caldera.dir/storage/file.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/caldera.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/caldera.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/record_file.cc" "src/CMakeFiles/caldera.dir/storage/record_file.cc.o" "gcc" "src/CMakeFiles/caldera.dir/storage/record_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_methods_test.dir/access_methods_test.cc.o"
+  "CMakeFiles/access_methods_test.dir/access_methods_test.cc.o.d"
+  "access_methods_test"
+  "access_methods_test.pdb"
+  "access_methods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

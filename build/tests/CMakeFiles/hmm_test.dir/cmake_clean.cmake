@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_test.dir/hmm_test.cc.o"
+  "CMakeFiles/hmm_test.dir/hmm_test.cc.o.d"
+  "hmm_test"
+  "hmm_test.pdb"
+  "hmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

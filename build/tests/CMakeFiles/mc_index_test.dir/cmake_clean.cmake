@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_index_test.dir/mc_index_test.cc.o"
+  "CMakeFiles/mc_index_test.dir/mc_index_test.cc.o.d"
+  "mc_index_test"
+  "mc_index_test.pdb"
+  "mc_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reg_test.dir/reg_test.cc.o"
+  "CMakeFiles/reg_test.dir/reg_test.cc.o.d"
+  "reg_test"
+  "reg_test.pdb"
+  "reg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

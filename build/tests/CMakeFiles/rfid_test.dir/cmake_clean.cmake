@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_test.dir/rfid_test.cc.o"
+  "CMakeFiles/rfid_test.dir/rfid_test.cc.o.d"
+  "rfid_test"
+  "rfid_test.pdb"
+  "rfid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
