@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "caldera/batch.h"
+#include "common/thread_pool.h"
 #include "rfid/workload.h"
 
 using namespace caldera;         // NOLINT
@@ -49,6 +50,7 @@ int main() {
 
     BatchOptions batch_options;
     batch_options.exec = options;
+    batch_options.num_threads = 1;
     auto batch = ExecuteBatch(&system, query, batch_options);
     CALDERA_CHECK_OK(batch.status());
     size_t matches = batch->TopMatches(1000000, 1e-6).size();
@@ -61,5 +63,41 @@ int main() {
   }
   std::printf("# expected: one-tag cost flat in the fleet size (per-stream "
               "partitioning); fleet cost ~linear in tags\n");
+
+  // Thread-scaling sweep on the full fleet: the per-stream partitioning
+  // makes the batch embarrassingly parallel, so fleet latency should drop
+  // toward fleet_total / min(threads, cores) while the output stays
+  // byte-identical to the sequential run.
+  std::printf("\n# Thread scaling: fleet of %u tags, BT_C method "
+              "(hardware_concurrency=%zu)\n",
+              archived, ThreadPool::DefaultThreadCount());
+  std::printf("%-10s %16s %12s %16s\n", "threads", "fleet-total-ms",
+              "speedup", "identical-out");
+
+  ExecOptions options;
+  options.method = AccessMethodKind::kBTree;
+  BatchOptions sequential;
+  sequential.exec = options;
+  sequential.num_threads = 1;
+  auto baseline = ExecuteBatch(&system, query, sequential);
+  CALDERA_CHECK_OK(baseline.status());
+  double sequential_ms = 0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    BatchOptions batch_options;
+    batch_options.exec = options;
+    batch_options.num_threads = threads;
+    auto batch = ExecuteBatch(&system, query, batch_options);
+    CALDERA_CHECK_OK(batch.status());
+    bool identical = IdenticalSignals(*baseline, *batch) &&
+                     batch->TotalRegUpdates() == baseline->TotalRegUpdates();
+    double total = TimeBest([&] {
+      CALDERA_CHECK_OK(ExecuteBatch(&system, query, batch_options).status());
+    });
+    if (threads == 1) sequential_ms = total * 1e3;
+    std::printf("%-10zu %16.2f %11.2fx %16s\n", threads, total * 1e3,
+                sequential_ms / (total * 1e3), identical ? "yes" : "NO");
+  }
+  std::printf("# expected: speedup ~min(threads, cores, tags) with "
+              "identical-out=yes on every row\n");
   return 0;
 }

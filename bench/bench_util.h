@@ -8,6 +8,7 @@
 #include <string>
 
 #include "caldera/archive.h"
+#include "caldera/batch.h"
 #include "common/logging.h"
 #include "markov/stream_io.h"
 #include "query/regular_query.h"
@@ -53,6 +54,20 @@ inline std::unique_ptr<ArchivedStream> ArchiveStream(
   auto opened = archive.OpenStream(name, pool_pages);
   CALDERA_CHECK_OK(opened.status());
   return std::move(*opened);
+}
+
+/// True when two batch results cover the same streams in the same order
+/// with byte-identical signals — the determinism contract of parallel
+/// ExecuteBatch (TimestepProbability compares exactly, not within eps).
+inline bool IdenticalSignals(const BatchResult& a, const BatchResult& b) {
+  if (a.streams.size() != b.streams.size()) return false;
+  for (size_t i = 0; i < a.streams.size(); ++i) {
+    if (a.streams[i].stream != b.streams[i].stream) return false;
+    if (a.streams[i].result.signal != b.streams[i].result.signal) {
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Measured data density of a query on a stream: fraction of timesteps

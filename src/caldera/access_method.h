@@ -46,6 +46,21 @@ struct ExecStats {
   BufferPoolStats stream_io;       ///< Page traffic on the stream files.
   BufferPoolStats index_io;        ///< Page traffic on index files.
   double elapsed_seconds = 0.0;    ///< Wall-clock execution time.
+
+  /// Field-wise accumulation, used to roll up per-stream stats into batch
+  /// totals (elapsed_seconds sums too: it is aggregate work, not makespan).
+  ExecStats& operator+=(const ExecStats& o) {
+    reg_updates += o.reg_updates;
+    relevant_timesteps += o.relevant_timesteps;
+    intervals += o.intervals;
+    pruned_candidates += o.pruned_candidates;
+    mc_entry_fetches += o.mc_entry_fetches;
+    mc_raw_fetches += o.mc_raw_fetches;
+    stream_io += o.stream_io;
+    index_io += o.index_io;
+    elapsed_seconds += o.elapsed_seconds;
+    return *this;
+  }
 };
 
 /// Result of one query execution.

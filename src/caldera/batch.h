@@ -14,14 +14,18 @@ struct BatchStreamResult {
   QueryResult result;
 };
 
-/// Aggregate over a batch execution.
+/// Aggregate over a batch execution. `streams` is always in request order
+/// (or ListStreams order), independent of how many threads executed it.
 struct BatchResult {
   std::vector<BatchStreamResult> streams;
 
+  /// Field-wise sum of the per-stream ExecStats (elapsed_seconds is total
+  /// work across streams, not wall-clock makespan of a parallel run).
+  ExecStats TotalStats() const;
   /// Sum of per-stream wall-clock execution times.
-  double TotalSeconds() const;
+  double TotalSeconds() const { return TotalStats().elapsed_seconds; }
   /// Sum of per-stream Reg updates.
-  uint64_t TotalRegUpdates() const;
+  uint64_t TotalRegUpdates() const { return TotalStats().reg_updates; }
   /// All matches across streams above `threshold`, tagged with their
   /// stream, sorted by decreasing probability.
   std::vector<std::pair<std::string, TimestepProbability>> TopMatches(
@@ -31,12 +35,14 @@ struct BatchResult {
 /// Runs one Regular query against every stream in the archive (or a chosen
 /// subset). This is the paper's deployment setting — one Markovian stream
 /// per tag, partitioned on disk by stream (Section 3.4.2) — so each
-/// execution touches only its own partition's files and the total cost is
-/// the sum of per-stream costs.
+/// execution touches only its own partition's files, the total cost is the
+/// sum of per-stream costs, and the streams are embarrassingly parallel:
+/// with num_threads > 1 a fixed-size thread pool fans one worker out per
+/// stream. Output ordering, per-stream results, and error reporting are
+/// deterministic and identical to the sequential run.
 ///
 /// Streams that cannot run the requested method (e.g. a missing index)
-/// surface as an error unless `options_per_stream_fallback_to_scan` allows
-/// falling back.
+/// surface as an error unless `fallback_to_scan` allows falling back.
 struct BatchOptions {
   ExecOptions exec;
   /// Restrict to these streams (empty = all archived streams).
@@ -44,6 +50,9 @@ struct BatchOptions {
   /// On FailedPrecondition (missing index), retry with the naive scan
   /// instead of failing the batch.
   bool fallback_to_scan = false;
+  /// Worker threads for the fan-out. 0 = hardware concurrency, 1 = run
+  /// sequentially on the calling thread (the pre-parallel behavior).
+  size_t num_threads = 0;
 };
 
 Result<BatchResult> ExecuteBatch(Caldera* system, const RegularQuery& query,

@@ -8,21 +8,48 @@
 
 namespace caldera {
 
-Result<ArchivedStream*> Caldera::GetStream(const std::string& name,
-                                           size_t pool_pages) {
-  auto it = open_streams_.find(name);
-  if (it != open_streams_.end()) return it->second.get();
-  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<ArchivedStream> stream,
+Result<std::shared_ptr<ArchivedStream>> Caldera::GetStream(
+    const std::string& name, size_t pool_pages) {
+  uint64_t open_epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_streams_.find(name);
+    if (it != open_streams_.end() && it->second.epoch == epoch_) {
+      return it->second.stream;
+    }
+    open_epoch = epoch_;
+  }
+  // Open outside the lock: concurrent opens of *different* streams must not
+  // serialize on each other (ExecuteBatch opens one stream per worker).
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<ArchivedStream> opened,
                            archive_.OpenStream(name, pool_pages));
-  ArchivedStream* raw = stream.get();
-  open_streams_[name] = std::move(stream);
-  return raw;
+  std::shared_ptr<ArchivedStream> stream = std::move(opened);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch_ != open_epoch) return stream;  // Invalidated mid-open: serve
+                                            // the handle, don't cache it.
+  auto it = open_streams_.find(name);
+  if (it != open_streams_.end() && it->second.epoch == epoch_) {
+    return it->second.stream;  // A racing open won; share its handle.
+  }
+  open_streams_[name] = CachedHandle{epoch_, stream};
+  return stream;
+}
+
+uint64_t Caldera::InvalidateStreams() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_streams_.clear();
+  return ++epoch_;
+}
+
+uint64_t Caldera::stream_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
 }
 
 Result<PlanDecision> Caldera::Plan(const std::string& stream_name,
                                    const RegularQuery& query,
                                    const ExecOptions& options) {
-  CALDERA_ASSIGN_OR_RETURN(ArchivedStream* archived,
+  CALDERA_ASSIGN_OR_RETURN(std::shared_ptr<ArchivedStream> archived,
                            GetStream(stream_name, options.pool_pages));
   if (options.method != AccessMethodKind::kAuto) {
     PlanDecision decision;
@@ -30,15 +57,19 @@ Result<PlanDecision> Caldera::Plan(const std::string& stream_name,
     decision.reason = "explicitly requested";
     return decision;
   }
-  return PlanQuery(archived, query, options.k > 0 || options.threshold > 0,
+  return PlanQuery(archived.get(), query,
+                   options.k > 0 || options.threshold > 0,
                    options.approximation_ok);
 }
 
 Result<QueryResult> Caldera::Execute(const std::string& stream_name,
                                      const RegularQuery& query,
                                      const ExecOptions& options) {
-  CALDERA_ASSIGN_OR_RETURN(ArchivedStream* archived,
+  // The shared_ptr keeps the stream alive for the whole execution even if
+  // another thread invalidates the cache mid-query.
+  CALDERA_ASSIGN_OR_RETURN(std::shared_ptr<ArchivedStream> handle,
                            GetStream(stream_name, options.pool_pages));
+  ArchivedStream* archived = handle.get();
   CALDERA_ASSIGN_OR_RETURN(PlanDecision decision,
                            Plan(stream_name, query, options));
 

@@ -1,8 +1,10 @@
 #ifndef CALDERA_CALDERA_SYSTEM_H_
 #define CALDERA_CALDERA_SYSTEM_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "caldera/access_method.h"
@@ -31,10 +33,20 @@ struct ExecOptions {
 /// The Caldera system facade (Figure 1): an archive of smoothed Markovian
 /// streams plus Regular-query execution over them.
 ///
+/// Stream handles are shared-ownership (std::shared_ptr) and come from a
+/// mutex-guarded, epoch-versioned cache: GetStream may be called from any
+/// thread, and InvalidateStreams never dangles an outstanding handle — it
+/// only prevents the cache from serving stale ones. A single ArchivedStream
+/// object is still single-threaded (its buffer pools are not locked), so at
+/// most one thread may *use* a given handle at a time; ExecuteBatch
+/// (caldera/batch.h) parallelizes across distinct streams for exactly this
+/// reason.
+///
 /// Typical use:
 ///   Caldera system("/data/archive");
 ///   system.archive()->CreateStream("bob", stream);
 ///   system.archive()->BuildBtc("bob", 0);
+///   system.InvalidateStreams();  // new index ⇒ refresh cached handles
 ///   auto result = system.Execute("bob", query, {});
 class Caldera {
  public:
@@ -55,16 +67,32 @@ class Caldera {
                             const RegularQuery& query,
                             const ExecOptions& options = {});
 
-  /// Opens (and caches) a stream handle.
-  Result<ArchivedStream*> GetStream(const std::string& name,
-                                    size_t pool_pages = 256);
+  /// Opens (and caches) a stream handle. Thread-safe. The returned handle
+  /// shares ownership with the cache: it stays valid for as long as the
+  /// caller holds it, across any number of InvalidateStreams calls.
+  Result<std::shared_ptr<ArchivedStream>> GetStream(const std::string& name,
+                                                    size_t pool_pages = 256);
 
-  /// Drops cached stream handles (e.g. after building new indexes).
-  void InvalidateCache() { open_streams_.clear(); }
+  /// Starts a new handle epoch (e.g. after building new indexes): cached
+  /// handles are dropped and opens racing with this call are not admitted
+  /// to the cache. Outstanding shared_ptr handles remain valid — they see
+  /// the archive as of their open. Returns the new epoch. Thread-safe.
+  uint64_t InvalidateStreams();
+
+  /// The current handle-cache epoch (starts at 0, bumped by
+  /// InvalidateStreams). Thread-safe.
+  uint64_t stream_epoch() const;
 
  private:
+  struct CachedHandle {
+    uint64_t epoch = 0;  // Epoch the handle was opened under.
+    std::shared_ptr<ArchivedStream> stream;
+  };
+
   StreamArchive archive_;
-  std::map<std::string, std::unique_ptr<ArchivedStream>> open_streams_;
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  std::map<std::string, CachedHandle> open_streams_;
 };
 
 }  // namespace caldera

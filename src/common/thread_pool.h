@@ -1,0 +1,60 @@
+#ifndef CALDERA_COMMON_THREAD_POOL_H_
+#define CALDERA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace caldera {
+
+/// A fixed-size thread pool with a single shared FIFO queue (no work
+/// stealing — Caldera's parallel workloads are one coarse task per stream,
+/// so a central queue is contention-free in practice).
+///
+/// Tasks must not throw; the library is exception-free and a throwing task
+/// would terminate. Submit/Wait may be called from any thread, but tasks
+/// themselves must not Submit to the pool they run on while another thread
+/// is in Wait (Wait only waits for tasks submitted before it observed an
+/// empty queue).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished running.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;  // Workers sleep on this.
+  std::condition_variable all_done_;        // Wait() sleeps on this.
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Tasks popped but not yet finished.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace caldera
+
+#endif  // CALDERA_COMMON_THREAD_POOL_H_

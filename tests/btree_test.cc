@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -286,7 +287,10 @@ struct BTreeParam {
 class BTreeParamTest : public ::testing::TestWithParam<BTreeParam> {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "caldera_btree_param";
+    // Pid-unique: ctest -j runs the parameterized cases as concurrent
+    // processes, which would race on a fixed path.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("caldera_btree_param_" + std::to_string(::getpid()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }

@@ -1,0 +1,295 @@
+// Tests for the parallel batch execution engine: the common/thread_pool
+// primitive, the shared-ownership epoch-versioned stream-handle cache, and
+// ExecuteBatch's determinism across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "caldera/batch.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "test_util.h"
+
+namespace caldera {
+namespace {
+
+RegularQuery Fixed(uint32_t a, uint32_t b) {
+  return RegularQuery::Sequence(
+      "f", {Predicate::Equality(0, a, "a"), Predicate::Equality(0, b, "b")});
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanTasks) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything before joining.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stream-handle cache
+// ---------------------------------------------------------------------------
+
+class ParallelBatchTest : public ::testing::Test {
+ protected:
+  ParallelBatchTest()
+      : scratch_("parallel_batch_test"), system_(scratch_.Path("archive")) {}
+
+  void AddStream(const std::string& name, uint64_t seed, bool index) {
+    MarkovianStream stream = test::MakeBandedStream(200, 12, seed);
+    CALDERA_CHECK_OK(system_.archive()->CreateStream(name, stream));
+    if (index) {
+      CALDERA_CHECK_OK(system_.archive()->BuildBtc(name, 0));
+      CALDERA_CHECK_OK(system_.archive()->BuildBtp(name, 0));
+    }
+  }
+
+  test::ScratchDir scratch_;
+  Caldera system_;
+};
+
+TEST_F(ParallelBatchTest, HandlesAreSharedAndCached) {
+  AddStream("s", 1, true);
+  auto a = system_.GetStream("s");
+  auto b = system_.GetStream("s");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());  // Same cached object.
+}
+
+TEST_F(ParallelBatchTest, InvalidationBumpsEpochAndKeepsOldHandlesAlive) {
+  AddStream("s", 2, true);
+  auto old_handle = system_.GetStream("s");
+  ASSERT_TRUE(old_handle.ok());
+  uint64_t before = system_.stream_epoch();
+  EXPECT_EQ(system_.InvalidateStreams(), before + 1);
+  EXPECT_EQ(system_.stream_epoch(), before + 1);
+  auto new_handle = system_.GetStream("s");
+  ASSERT_TRUE(new_handle.ok());
+  EXPECT_NE(new_handle->get(), old_handle->get());
+  // The pre-invalidation handle is still fully usable.
+  EXPECT_EQ((*old_handle)->length(), 200u);
+  EXPECT_NE((*old_handle)->btc(0), nullptr);
+}
+
+TEST_F(ParallelBatchTest, ConcurrentGetStreamIsSafe) {
+  for (int i = 0; i < 4; ++i) {
+    AddStream("tag" + std::to_string(i), 10 + i, true);
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      for (int i = 0; i < 20; ++i) {
+        auto handle =
+            system_.GetStream("tag" + std::to_string((t + i) % 4));
+        if (!handle.ok() || (*handle)->length() != 200) failures.fetch_add(1);
+        if (i == 10 && t == 0) system_.InvalidateStreams();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ExecuteBatch determinism across thread counts
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelBatchTest, ThreadCountDoesNotChangeResults) {
+  for (int i = 0; i < 6; ++i) {
+    AddStream("tag" + std::to_string(i), 100 + i, true);
+  }
+  RegularQuery query = Fixed(4, 5);
+
+  BatchOptions sequential;
+  sequential.num_threads = 1;
+  auto baseline = ExecuteBatch(&system_, query, sequential);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->streams.size(), 6u);
+  ExecStats baseline_stats = baseline->TotalStats();
+  EXPECT_GT(baseline_stats.reg_updates, 0u);
+
+  for (size_t num_threads : {2u, 8u}) {
+    BatchOptions parallel;
+    parallel.num_threads = num_threads;
+    auto batch = ExecuteBatch(&system_, query, parallel);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->streams.size(), baseline->streams.size());
+    for (size_t i = 0; i < batch->streams.size(); ++i) {
+      // Same streams in the same order with byte-identical signals.
+      EXPECT_EQ(batch->streams[i].stream, baseline->streams[i].stream);
+      EXPECT_EQ(batch->streams[i].result.method,
+                baseline->streams[i].result.method);
+      EXPECT_EQ(batch->streams[i].result.signal,
+                baseline->streams[i].result.signal);
+    }
+    // Identical aggregate work, rolled up thread-safely.
+    EXPECT_EQ(batch->TotalStats().reg_updates, baseline_stats.reg_updates);
+    EXPECT_EQ(batch->TotalRegUpdates(), baseline->TotalRegUpdates());
+  }
+}
+
+TEST_F(ParallelBatchTest, FallbackToScanUnderContention) {
+  // Half the fleet is missing the B+ tree index; with fallback enabled the
+  // parallel run must degrade those streams to scans exactly like the
+  // sequential run does.
+  for (int i = 0; i < 8; ++i) {
+    AddStream("tag" + std::to_string(i), 200 + i, /*index=*/i % 2 == 0);
+  }
+  RegularQuery query = Fixed(3, 4);
+  BatchOptions options;
+  options.exec.method = AccessMethodKind::kBTree;
+  options.fallback_to_scan = true;
+
+  options.num_threads = 1;
+  auto baseline = ExecuteBatch(&system_, query, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  options.num_threads = 8;
+  auto parallel = ExecuteBatch(&system_, query, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(parallel->streams.size(), 8u);
+  for (size_t i = 0; i < parallel->streams.size(); ++i) {
+    const BatchStreamResult& s = parallel->streams[i];
+    EXPECT_EQ(s.result.method, i % 2 == 0 ? AccessMethodKind::kBTree
+                                          : AccessMethodKind::kScan)
+        << s.stream;
+    EXPECT_EQ(s.result.signal, baseline->streams[i].result.signal);
+  }
+  EXPECT_EQ(parallel->TotalRegUpdates(), baseline->TotalRegUpdates());
+}
+
+TEST_F(ParallelBatchTest, StrictErrorsAreDeterministicUnderContention) {
+  // Without fallback, the batch must fail with the error of the earliest
+  // failing stream in request order — regardless of which worker finished
+  // first.
+  AddStream("a_indexed", 300, true);
+  AddStream("b_bare", 301, false);
+  AddStream("c_bare", 302, false);
+  BatchOptions options;
+  options.exec.method = AccessMethodKind::kBTree;
+
+  options.num_threads = 1;
+  auto sequential = ExecuteBatch(&system_, Fixed(2, 3), options);
+  ASSERT_FALSE(sequential.ok());
+  EXPECT_EQ(sequential.status().code(), StatusCode::kFailedPrecondition);
+
+  options.num_threads = 8;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto parallel = ExecuteBatch(&system_, Fixed(2, 3), options);
+    ASSERT_FALSE(parallel.ok());
+    EXPECT_EQ(parallel.status(), sequential.status());
+  }
+}
+
+TEST_F(ParallelBatchTest, MissingStreamFailsBatchInParallel) {
+  AddStream("only", 400, true);
+  BatchOptions options;
+  options.streams = {"only", "ghost"};
+  options.num_threads = 4;
+  auto batch = ExecuteBatch(&system_, Fixed(1, 2), options);
+  EXPECT_EQ(batch.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParallelBatchTest, DuplicateStreamRequestsDoNotRace) {
+  // The same stream requested multiple times shares one ArchivedStream
+  // handle; the engine must serialize those executions on one worker.
+  AddStream("dup", 500, true);
+  AddStream("other", 501, true);
+  BatchOptions options;
+  options.streams = {"dup", "other", "dup", "dup"};
+  options.num_threads = 8;
+  auto batch = ExecuteBatch(&system_, Fixed(4, 5), options);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->streams.size(), 4u);
+  EXPECT_EQ(batch->streams[0].stream, "dup");
+  EXPECT_EQ(batch->streams[1].stream, "other");
+  EXPECT_EQ(batch->streams[2].stream, "dup");
+  EXPECT_EQ(batch->streams[3].stream, "dup");
+  EXPECT_EQ(batch->streams[0].result.signal, batch->streams[2].result.signal);
+  EXPECT_EQ(batch->streams[0].result.signal, batch->streams[3].result.signal);
+}
+
+TEST_F(ParallelBatchTest, TotalStatsMatchesHandRolledSum) {
+  for (int i = 0; i < 3; ++i) {
+    AddStream("tag" + std::to_string(i), 600 + i, true);
+  }
+  BatchOptions options;
+  options.num_threads = 2;
+  auto batch = ExecuteBatch(&system_, Fixed(4, 5), options);
+  ASSERT_TRUE(batch.ok());
+  ExecStats expected;
+  double seconds = 0;
+  for (const BatchStreamResult& s : batch->streams) {
+    expected += s.result.stats;
+    seconds += s.result.stats.elapsed_seconds;
+  }
+  ExecStats total = batch->TotalStats();
+  EXPECT_EQ(total.reg_updates, expected.reg_updates);
+  EXPECT_EQ(total.relevant_timesteps, expected.relevant_timesteps);
+  EXPECT_EQ(total.intervals, expected.intervals);
+  EXPECT_EQ(total.stream_io.fetches, expected.stream_io.fetches);
+  EXPECT_EQ(total.index_io.fetches, expected.index_io.fetches);
+  EXPECT_DOUBLE_EQ(batch->TotalSeconds(), seconds);
+}
+
+}  // namespace
+}  // namespace caldera

@@ -172,10 +172,17 @@ TEST_F(SystemTest, FullRfidPipelineWithParserAndDimensions) {
   EXPECT_GT(peak, 0.1);
 
   // Join index is discoverable after reopening.
-  system.InvalidateCache();
+  auto stale = system.GetStream("james");
+  ASSERT_TRUE(stale.ok());
+  uint64_t epoch_before = system.stream_epoch();
+  EXPECT_EQ(system.InvalidateStreams(), epoch_before + 1);
   auto archived = system.GetStream("james");
   ASSERT_TRUE(archived.ok());
   EXPECT_NE((*archived)->join_index("type"), nullptr);
+  // A fresh handle was opened, and the pre-invalidation handle is still
+  // safe to use (shared ownership — no dangling).
+  EXPECT_NE(archived->get(), stale->get());
+  EXPECT_EQ((*stale)->length(), (*archived)->length());
 }
 
 }  // namespace

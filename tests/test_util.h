@@ -1,6 +1,8 @@
 #ifndef CALDERA_TESTS_TEST_UTIL_H_
 #define CALDERA_TESTS_TEST_UTIL_H_
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -25,11 +27,15 @@ inline MarkovianStream MakeBandedStream(uint64_t length, uint32_t domain,
   return MakeBandedRandomWalkStream(length, domain, seed);
 }
 
-/// RAII scratch directory under the system temp dir.
+/// RAII scratch directory under the system temp dir. The path includes the
+/// process id: ctest -j runs test cases of one binary as concurrent
+/// processes, and fixtures reuse one tag per suite, so a fixed path would
+/// race.
 class ScratchDir {
  public:
   explicit ScratchDir(const std::string& tag) {
-    path_ = std::filesystem::temp_directory_path() / ("caldera_" + tag);
+    path_ = std::filesystem::temp_directory_path() /
+            ("caldera_" + tag + "_" + std::to_string(::getpid()));
     std::filesystem::remove_all(path_);
     std::filesystem::create_directories(path_);
   }
