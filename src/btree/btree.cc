@@ -75,7 +75,10 @@ Result<std::unique_ptr<BTree>> BTree::Create(const std::string& path,
     return Status::InvalidArgument("value_size must be <= 1024");
   }
   uint32_t entry = options.key_size + options.value_size;
-  if (entry * 4 > page_size - kNodeHeaderSize) {
+  // Capacity math runs on the pager payload (physical page minus the
+  // integrity trailer), not the raw physical page size.
+  if (page_size < kPageTrailerSize + kNodeHeaderSize ||
+      entry * 4 > page_size - kPageTrailerSize - kNodeHeaderSize) {
     return Status::InvalidArgument("page too small for 4 entries per node");
   }
   CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,

@@ -43,6 +43,8 @@ struct ExecStats {
   uint64_t pruned_candidates = 0;  ///< Top-k candidates pruned before Reg.
   uint64_t mc_entry_fetches = 0;   ///< MC-index entries fetched.
   uint64_t mc_raw_fetches = 0;     ///< Raw CPTs fetched for MC residues.
+  uint64_t corruption_events = 0;  ///< Corrupt pages/indexes encountered.
+  uint64_t scan_fallbacks = 0;     ///< Executions rescued by a scan fallback.
   BufferPoolStats stream_io;       ///< Page traffic on the stream files.
   BufferPoolStats index_io;        ///< Page traffic on index files.
   double elapsed_seconds = 0.0;    ///< Wall-clock execution time.
@@ -56,6 +58,8 @@ struct ExecStats {
     pruned_candidates += o.pruned_candidates;
     mc_entry_fetches += o.mc_entry_fetches;
     mc_raw_fetches += o.mc_raw_fetches;
+    corruption_events += o.corruption_events;
+    scan_fallbacks += o.scan_fallbacks;
     stream_io += o.stream_io;
     index_io += o.index_io;
     elapsed_seconds += o.elapsed_seconds;

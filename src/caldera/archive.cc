@@ -1,7 +1,11 @@
 #include "caldera/archive.h"
 
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 
+#include "common/encoding.h"
+#include "common/logging.h"
 #include "index/btc_index.h"
 #include "index/btp_index.h"
 
@@ -21,31 +25,62 @@ std::string JoinPrefix(const std::string& dir, const std::string& column) {
 }  // namespace
 
 Result<std::unique_ptr<ArchivedStream>> ArchivedStream::Open(
-    const std::string& dir, size_t pool_pages) {
+    const std::string& dir, const OpenStreamOptions& options) {
+  const size_t pool_pages = options.pool_pages;
   auto archived = std::unique_ptr<ArchivedStream>(new ArchivedStream(dir));
+  // The stream data files are non-negotiable: without them there is nothing
+  // to fall back to, so their errors always propagate.
   CALDERA_ASSIGN_OR_RETURN(archived->stream_,
                            StoredStream::Open(dir, pool_pages));
+
+  // With tolerate_corrupt_indexes, an index that fails to open is recorded
+  // and skipped — the handle behaves as if the index was never built, and
+  // the planner degrades to methods that do not need it.
+  auto admit = [&](const std::string& index_name,
+                   const Status& error) -> Status {
+    if (!options.tolerate_corrupt_indexes) return error;
+    CALDERA_LOG_WARNING << "skipping index " << index_name << " of " << dir
+                        << ": " << error.ToString();
+    archived->skipped_indexes_.push_back({index_name, error});
+    return Status::Ok();
+  };
+
   const size_t num_attrs = archived->stream_->schema().num_attributes();
   archived->btc_.resize(num_attrs);
   archived->btp_.resize(num_attrs);
   for (size_t attr = 0; attr < num_attrs; ++attr) {
     if (FileExists(BtcPath(dir, attr))) {
-      CALDERA_ASSIGN_OR_RETURN(archived->btc_[attr],
-                               BTree::Open(BtcPath(dir, attr), pool_pages));
+      Result<std::unique_ptr<BTree>> tree =
+          BTree::Open(BtcPath(dir, attr), pool_pages);
+      if (tree.ok()) {
+        archived->btc_[attr] = std::move(*tree);
+      } else {
+        CALDERA_RETURN_IF_ERROR(
+            admit("btc.attr" + std::to_string(attr) + ".bt", tree.status()));
+      }
     }
     if (FileExists(BtpPath(dir, attr))) {
-      CALDERA_ASSIGN_OR_RETURN(archived->btp_[attr],
-                               BTree::Open(BtpPath(dir, attr), pool_pages));
+      Result<std::unique_ptr<BTree>> tree =
+          BTree::Open(BtpPath(dir, attr), pool_pages);
+      if (tree.ok()) {
+        archived->btp_[attr] = std::move(*tree);
+      } else {
+        CALDERA_RETURN_IF_ERROR(
+            admit("btp.attr" + std::to_string(attr) + ".bt", tree.status()));
+      }
     }
   }
   if (FileExists(McDir(dir) + "/mc.meta")) {
     StoredStream* raw = archived->stream_.get();
-    CALDERA_ASSIGN_OR_RETURN(
-        archived->mc_,
-        McIndex::Open(
-            McDir(dir),
-            [raw](uint64_t t, Cpt* out) { return raw->ReadTransition(t, out); },
-            pool_pages));
+    Result<std::unique_ptr<McIndex>> mc = McIndex::Open(
+        McDir(dir),
+        [raw](uint64_t t, Cpt* out) { return raw->ReadTransition(t, out); },
+        pool_pages);
+    if (mc.ok()) {
+      archived->mc_ = std::move(*mc);
+    } else {
+      CALDERA_RETURN_IF_ERROR(admit("mc", mc.status()));
+    }
   }
   // Join indexes: join.<column>.meta files.
   std::error_code ec;
@@ -55,9 +90,13 @@ Result<std::unique_ptr<ArchivedStream>> ArchivedStream::Open(
         name.size() > 10 &&
         name.substr(name.size() - 5) == ".meta") {
       std::string column = name.substr(5, name.size() - 10);
-      CALDERA_ASSIGN_OR_RETURN(
-          archived->join_indexes_[column],
-          JoinIndex::Open(JoinPrefix(dir, column), pool_pages));
+      Result<std::unique_ptr<JoinIndex>> join =
+          JoinIndex::Open(JoinPrefix(dir, column), pool_pages);
+      if (join.ok()) {
+        archived->join_indexes_[column] = std::move(*join);
+      } else {
+        CALDERA_RETURN_IF_ERROR(admit(name, join.status()));
+      }
     }
   }
   return archived;
@@ -143,10 +182,73 @@ Status StreamArchive::BuildJoinIndex(const std::string& name,
 
 Result<std::unique_ptr<ArchivedStream>> StreamArchive::OpenStream(
     const std::string& name, size_t pool_pages) {
+  return OpenStream(name, OpenStreamOptions{.pool_pages = pool_pages});
+}
+
+Result<std::unique_ptr<ArchivedStream>> StreamArchive::OpenStream(
+    const std::string& name, const OpenStreamOptions& options) {
   if (!HasStream(name)) {
     return Status::NotFound("no stream named '" + name + "' in archive");
   }
-  return ArchivedStream::Open(StreamDir(name), pool_pages);
+  return ArchivedStream::Open(StreamDir(name), options);
+}
+
+Status StreamArchive::RebuildIndexes(const std::string& name) {
+  if (!HasStream(name)) {
+    return Status::NotFound("no stream named '" + name + "' in archive");
+  }
+  const std::string dir = StreamDir(name);
+
+  // Discover what was built from the file names alone — the files
+  // themselves may be arbitrarily damaged.
+  std::vector<size_t> btc_attrs;
+  std::vector<size_t> btp_attrs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string file = entry.path().filename().string();
+    size_t attr = 0;
+    if (std::sscanf(file.c_str(), "btc.attr%zu.bt", &attr) == 1) {
+      btc_attrs.push_back(attr);
+    } else if (std::sscanf(file.c_str(), "btp.attr%zu.bt", &attr) == 1) {
+      btp_attrs.push_back(attr);
+    }
+  }
+  if (ec) return Status::IoError("cannot list " + dir + ": " + ec.message());
+
+  // The MC index's build parameters live in mc/mc.meta; recover alpha when
+  // the metadata is still readable, otherwise rebuild with defaults.
+  const bool had_mc = FileExists(McDir(dir) + "/mc.meta");
+  McIndexOptions mc_options;
+  if (had_mc) {
+    Result<std::unique_ptr<File>> meta =
+        File::OpenReadOnly(McDir(dir) + "/mc.meta");
+    if (meta.ok() && (*meta)->size() >= 12) {
+      char buf[12];
+      if ((*meta)->ReadAt(0, 12, buf).ok() &&
+          std::memcmp(buf, "CLDRMCI1", 8) == 0) {
+        uint32_t alpha = GetFixed32(buf + 8);
+        if (alpha >= 2) mc_options.alpha = alpha;
+      }
+    }
+  }
+
+  for (size_t attr : btc_attrs) {
+    CALDERA_RETURN_IF_ERROR(RemoveFileIfExists(BtcPath(dir, attr)));
+    CALDERA_RETURN_IF_ERROR(BuildBtc(name, attr));
+  }
+  for (size_t attr : btp_attrs) {
+    CALDERA_RETURN_IF_ERROR(RemoveFileIfExists(BtpPath(dir, attr)));
+    CALDERA_RETURN_IF_ERROR(BuildBtp(name, attr));
+  }
+  if (had_mc) {
+    std::filesystem::remove_all(McDir(dir), ec);
+    if (ec) {
+      return Status::IoError("cannot remove " + McDir(dir) + ": " +
+                             ec.message());
+    }
+    CALDERA_RETURN_IF_ERROR(BuildMc(name, mc_options));
+  }
+  return Status::Ok();
 }
 
 Result<std::vector<std::string>> StreamArchive::ListStreams() const {

@@ -33,19 +33,15 @@ BatchResult::TopMatches(size_t k, double threshold) const {
 
 namespace {
 
-// One stream's execution, including the missing-index fallback.
+// One stream's execution. Fallback (missing index, corrupt index or page)
+// is handled inside Caldera::Execute; the batch flag simply opts every
+// stream in.
 Result<QueryResult> ExecuteOne(Caldera* system, const std::string& name,
                                const RegularQuery& query,
                                const BatchOptions& options) {
-  Result<QueryResult> result = system->Execute(name, query, options.exec);
-  if (!result.ok() &&
-      result.status().code() == StatusCode::kFailedPrecondition &&
-      options.fallback_to_scan) {
-    ExecOptions scan_options = options.exec;
-    scan_options.method = AccessMethodKind::kScan;
-    result = system->Execute(name, query, scan_options);
-  }
-  return result;
+  ExecOptions exec = options.exec;
+  exec.fallback_to_scan = exec.fallback_to_scan || options.fallback_to_scan;
+  return system->Execute(name, query, exec);
 }
 
 Status WrapStreamError(const std::string& name, const Status& st) {

@@ -47,8 +47,10 @@ struct BatchOptions {
   ExecOptions exec;
   /// Restrict to these streams (empty = all archived streams).
   std::vector<std::string> streams;
-  /// On FailedPrecondition (missing index), retry with the naive scan
-  /// instead of failing the batch.
+  /// On a missing index (FailedPrecondition) or a damaged one (Corruption /
+  /// IoError), retry the stream with the naive scan instead of failing the
+  /// batch. Equivalent to setting exec.fallback_to_scan; rescued streams
+  /// report stats.scan_fallbacks / stats.corruption_events.
   bool fallback_to_scan = false;
   /// Worker threads for the fan-out. 0 = hardware concurrency, 1 = run
   /// sequentially on the calling thread (the pre-parallel behavior).

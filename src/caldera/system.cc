@@ -62,17 +62,23 @@ Result<PlanDecision> Caldera::Plan(const std::string& stream_name,
                    options.approximation_ok);
 }
 
-Result<QueryResult> Caldera::Execute(const std::string& stream_name,
-                                     const RegularQuery& query,
-                                     const ExecOptions& options) {
-  // The shared_ptr keeps the stream alive for the whole execution even if
-  // another thread invalidates the cache mid-query.
-  CALDERA_ASSIGN_OR_RETURN(std::shared_ptr<ArchivedStream> handle,
-                           GetStream(stream_name, options.pool_pages));
-  ArchivedStream* archived = handle.get();
-  CALDERA_ASSIGN_OR_RETURN(PlanDecision decision,
-                           Plan(stream_name, query, options));
+namespace {
 
+// Errors a scan fallback can rescue: damaged or missing index artifacts.
+// NotFound (no such stream) and InvalidArgument (bad query) are not
+// rescuable — the scan would fail identically.
+bool ScanFallbackApplies(const Status& st) {
+  return st.code() == StatusCode::kCorruption ||
+         st.code() == StatusCode::kIoError ||
+         st.code() == StatusCode::kFailedPrecondition;
+}
+
+}  // namespace
+
+Result<QueryResult> Caldera::ExecuteOnHandle(ArchivedStream* archived,
+                                             const RegularQuery& query,
+                                             const ExecOptions& options,
+                                             AccessMethodKind method) {
   auto finalize = [&options](QueryResult result) {
     if (options.threshold > 0) {
       result.signal = FilterSignal(result.signal, options.threshold);
@@ -81,7 +87,7 @@ Result<QueryResult> Caldera::Execute(const std::string& stream_name,
     return result;
   };
 
-  switch (decision.method) {
+  switch (method) {
     case AccessMethodKind::kScan: {
       CALDERA_ASSIGN_OR_RETURN(QueryResult result,
                                RunScanMethod(archived, query));
@@ -112,6 +118,84 @@ Result<QueryResult> Caldera::Execute(const std::string& stream_name,
       break;
   }
   return Status::Internal("planner returned kAuto");
+}
+
+Result<QueryResult> Caldera::Execute(const std::string& stream_name,
+                                     const RegularQuery& query,
+                                     const ExecOptions& options) {
+  // The shared_ptr keeps the stream alive for the whole execution even if
+  // another thread invalidates the cache mid-query.
+  std::shared_ptr<ArchivedStream> handle;
+  uint64_t corruption_events = 0;
+  {
+    Result<std::shared_ptr<ArchivedStream>> opened =
+        GetStream(stream_name, options.pool_pages);
+    if (opened.ok()) {
+      handle = std::move(*opened);
+    } else if (options.fallback_to_scan &&
+               ScanFallbackApplies(opened.status())) {
+      // An index refused to open (bad checksum, truncation, ...). Re-open
+      // in degraded mode: unopenable indexes are skipped, so the planner
+      // sees them as never built and picks a method that works without
+      // them. Degraded handles are deliberately not admitted to the cache.
+      OpenStreamOptions degraded;
+      degraded.pool_pages = options.pool_pages;
+      degraded.tolerate_corrupt_indexes = true;
+      CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<ArchivedStream> tolerant,
+                               archive_.OpenStream(stream_name, degraded));
+      corruption_events = tolerant->skipped_indexes().size();
+      handle = std::move(tolerant);
+    } else {
+      return opened.status();
+    }
+  }
+
+  AccessMethodKind method = options.method;
+  if (method == AccessMethodKind::kAuto) {
+    Result<PlanDecision> decision =
+        PlanQuery(handle.get(), query, options.k > 0 || options.threshold > 0,
+                  options.approximation_ok);
+    if (decision.ok()) {
+      method = decision->method;
+    } else if (options.fallback_to_scan &&
+               ScanFallbackApplies(decision.status())) {
+      // Planning itself touches indexes (density estimation); a corrupt
+      // page there degrades to the scan as well.
+      if (decision.status().code() == StatusCode::kCorruption) {
+        ++corruption_events;
+      }
+      method = AccessMethodKind::kScan;
+    } else {
+      return decision.status();
+    }
+  }
+
+  Result<QueryResult> result =
+      ExecuteOnHandle(handle.get(), query, options, method);
+  if (!result.ok() && method != AccessMethodKind::kScan &&
+      options.fallback_to_scan && ScanFallbackApplies(result.status())) {
+    if (result.status().code() == StatusCode::kCorruption) {
+      ++corruption_events;
+    }
+    result = ExecuteOnHandle(handle.get(), query, options,
+                             AccessMethodKind::kScan);
+    if (result.ok()) ++result->stats.scan_fallbacks;
+  }
+  if (!result.ok()) return result.status();
+  result->stats.corruption_events += corruption_events;
+  if (corruption_events > 0 && method == AccessMethodKind::kScan &&
+      options.method != AccessMethodKind::kScan) {
+    // The scan was forced by damage discovered at open/plan time.
+    ++result->stats.scan_fallbacks;
+  }
+  return result;
+}
+
+Status Caldera::RebuildIndexes(const std::string& stream_name) {
+  CALDERA_RETURN_IF_ERROR(archive_.RebuildIndexes(stream_name));
+  // New index files ⇒ cached handles are stale.
+  InvalidateStreams();
+  return Status::Ok();
 }
 
 }  // namespace caldera

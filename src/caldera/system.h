@@ -28,6 +28,13 @@ struct ExecOptions {
   bool approximation_ok = false;
   /// Buffer-pool pages per opened file.
   size_t pool_pages = 256;
+  /// Graceful degradation: when an index fails to open or a non-scan method
+  /// fails mid-query with Corruption / IoError / FailedPrecondition, retry
+  /// with the always-available naive scan (Algorithm 1) instead of failing.
+  /// Rescued executions report stats.scan_fallbacks = 1 and count the
+  /// corrupt artifacts in stats.corruption_events. Errors from the scan
+  /// itself (i.e. the stream data is damaged too) always propagate.
+  bool fallback_to_scan = false;
 };
 
 /// The Caldera system facade (Figure 1): an archive of smoothed Markovian
@@ -83,7 +90,18 @@ class Caldera {
   /// InvalidateStreams). Thread-safe.
   uint64_t stream_epoch() const;
 
+  /// Recovery after index corruption: rebuilds every rebuildable index of
+  /// `stream_name` from the (checksum-verified) stream data files and
+  /// invalidates cached handles so the next query sees the fresh indexes.
+  Status RebuildIndexes(const std::string& stream_name);
+
  private:
+  /// Plans (when needed) and runs `query` on an already-open handle,
+  /// applying the method-specific dispatch plus threshold/top-k filtering.
+  Result<QueryResult> ExecuteOnHandle(ArchivedStream* archived,
+                                      const RegularQuery& query,
+                                      const ExecOptions& options,
+                                      AccessMethodKind method);
   struct CachedHandle {
     uint64_t epoch = 0;  // Epoch the handle was opened under.
     std::shared_ptr<ArchivedStream> stream;

@@ -1,0 +1,147 @@
+#include "common/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
+#include <nmmintrin.h>
+#define CALDERA_CRC32C_X86 1
+#endif
+
+namespace caldera {
+
+namespace {
+
+// Slice-by-8 lookup tables for the reflected Castagnoli polynomial.
+// table[0] is the classic byte-at-a-time table; table[k][b] is the CRC of
+// byte b followed by k zero bytes, letting the loop fold 8 input bytes per
+// iteration.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+uint32_t ExtendSoftware(uint32_t crc, const char* data, size_t n) {
+  const auto& t = Tables().t;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Align to 8 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // Little-endian: low 4 bytes fold the running CRC.
+    crc = t[7][word & 0xff] ^ t[6][(word >> 8) & 0xff] ^
+          t[5][(word >> 16) & 0xff] ^ t[4][(word >> 24) & 0xff] ^
+          t[3][(word >> 32) & 0xff] ^ t[2][(word >> 40) & 0xff] ^
+          t[1][(word >> 48) & 0xff] ^ t[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+#ifdef CALDERA_CRC32C_X86
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const char* data,
+                                                          size_t n) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+bool DetectSse42() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & bit_SSE4_2) != 0;
+}
+
+#endif  // CALDERA_CRC32C_X86
+
+using ExtendFn = uint32_t (*)(uint32_t, const char*, size_t);
+
+ExtendFn ChooseExtend() {
+#ifdef CALDERA_CRC32C_X86
+  if (DetectSse42()) return &ExtendHardware;
+#endif
+  return &ExtendSoftware;
+}
+
+ExtendFn ResolvedExtend() {
+  static const ExtendFn fn = ChooseExtend();
+  return fn;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const char* data, size_t n) {
+  return ResolvedExtend()(0, data, n);
+}
+
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n) {
+  return ResolvedExtend()(crc, data, n);
+}
+
+bool Crc32cHardwareEnabled() {
+#ifdef CALDERA_CRC32C_X86
+  return ResolvedExtend() == &ExtendHardware;
+#else
+  return false;
+#endif
+}
+
+namespace internal {
+uint32_t Crc32cExtendSoftware(uint32_t crc, const char* data, size_t n) {
+  return ExtendSoftware(crc, data, n);
+}
+}  // namespace internal
+
+}  // namespace caldera

@@ -1,0 +1,35 @@
+#ifndef CALDERA_COMMON_CRC32C_H_
+#define CALDERA_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace caldera {
+
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum used by the v2 pager page format. Software path is slice-by-8;
+// on x86-64 the SSE4.2 CRC32 instruction is selected at runtime when the
+// CPU supports it. Incremental use:
+//   uint32_t crc = Crc32c(payload, n);
+//   crc = Crc32cExtend(crc, more, m);    // crc of payload||more
+
+/// CRC-32C of `data[0, n)`.
+uint32_t Crc32c(const char* data, size_t n);
+
+/// Extends `crc` (a value previously returned by Crc32c/Crc32cExtend) with
+/// `data[0, n)`.
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n);
+
+/// True when the hardware (SSE4.2) implementation is in use. Exposed so
+/// benchmarks can report which path they measured.
+bool Crc32cHardwareEnabled();
+
+namespace internal {
+/// The portable slice-by-8 implementation, bypassing dispatch. Exposed so
+/// tests can validate it even on machines where the hardware path wins.
+uint32_t Crc32cExtendSoftware(uint32_t crc, const char* data, size_t n);
+}  // namespace internal
+
+}  // namespace caldera
+
+#endif  // CALDERA_COMMON_CRC32C_H_

@@ -143,10 +143,18 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageHandle> BufferPool::NewPage() {
-  CALDERA_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  // Grab the frame before touching the pager: if the pool is exhausted, the
+  // file must not have been extended, or the freshly allocated page would be
+  // permanently orphaned.
   ++stats_.fetches;
   ++stats_.misses;
   CALDERA_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Result<PageId> allocated = pager_->AllocatePage();
+  if (!allocated.ok()) {
+    free_frames_.push_back(frame);
+    return allocated.status();
+  }
+  PageId id = *allocated;
   Frame& f = frames_[frame];
   std::memset(f.data.get(), 0, pager_->page_size());
   f.page_id = id;

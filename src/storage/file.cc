@@ -8,29 +8,97 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 
 namespace caldera {
 
 namespace {
+
 std::string Errno(const std::string& op, const std::string& path) {
   return op + " '" + path + "': " + std::strerror(errno);
 }
-}  // namespace
 
-Result<std::unique_ptr<File>> File::OpenOrCreate(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) return Status::IoError(Errno("open", path));
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return Status::IoError(Errno("fstat", path));
+/// The production File: a thin RAII wrapper around a POSIX fd.
+class PosixFile final : public File {
+ public:
+  PosixFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
   }
-  return std::unique_ptr<File>(
-      new File(path, fd, static_cast<uint64_t>(st.st_size)));
+
+  Status ReadAt(uint64_t offset, size_t n, char* buf) const override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, buf + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(Errno("pread", path_));
+      }
+      if (r == 0) {
+        return Status::IoError("short read at offset " +
+                               std::to_string(offset) + " (" +
+                               std::to_string(done) + "/" + std::to_string(n) +
+                               " bytes) in " + path_);
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::Ok();
+  }
+
+  Status WriteAt(uint64_t offset, std::string_view data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
+                           static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(Errno("pwrite", path_));
+      }
+      done += static_cast<size_t>(w);
+    }
+    if (offset + data.size() > size_) size_ = offset + data.size();
+    return Status::Ok();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IoError(Errno("ftruncate", path_));
+    }
+    size_ = size;
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
+    return Status::Ok();
+  }
+
+  uint64_t size() const override { return size_; }
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+File::WrapHook& WrapHookSlot() {
+  static File::WrapHook hook;
+  return hook;
 }
 
-Result<std::unique_ptr<File>> File::OpenReadOnly(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
+Result<std::unique_ptr<File>> Finish(std::unique_ptr<File> file) {
+  File::WrapHook& hook = WrapHookSlot();
+  if (hook) return hook(std::move(file));
+  return file;
+}
+
+Result<std::unique_ptr<File>> OpenWithFlags(const std::string& path,
+                                            int flags) {
+  int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
     if (errno == ENOENT) return Status::NotFound("no such file: " + path);
     return Status::IoError(Errno("open", path));
@@ -40,61 +108,26 @@ Result<std::unique_ptr<File>> File::OpenReadOnly(const std::string& path) {
     ::close(fd);
     return Status::IoError(Errno("fstat", path));
   }
-  return std::unique_ptr<File>(
-      new File(path, fd, static_cast<uint64_t>(st.st_size)));
+  return Finish(std::make_unique<PosixFile>(path, fd,
+                                            static_cast<uint64_t>(st.st_size)));
 }
 
-File::~File() {
-  if (fd_ >= 0) ::close(fd_);
+}  // namespace
+
+Result<std::unique_ptr<File>> File::OpenOrCreate(const std::string& path) {
+  return OpenWithFlags(path, O_RDWR | O_CREAT);
 }
 
-Status File::ReadAt(uint64_t offset, size_t n, char* buf) const {
-  size_t done = 0;
-  while (done < n) {
-    ssize_t r = ::pread(fd_, buf + done, n - done,
-                        static_cast<off_t>(offset + done));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(Errno("pread", path_));
-    }
-    if (r == 0) {
-      return Status::IoError("short read at offset " + std::to_string(offset) +
-                             " (" + std::to_string(done) + "/" +
-                             std::to_string(n) + " bytes) in " + path_);
-    }
-    done += static_cast<size_t>(r);
-  }
-  return Status::Ok();
+Result<std::unique_ptr<File>> File::Open(const std::string& path) {
+  return OpenWithFlags(path, O_RDWR);
 }
 
-Status File::WriteAt(uint64_t offset, std::string_view data) {
-  size_t done = 0;
-  while (done < data.size()) {
-    ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
-                         static_cast<off_t>(offset + done));
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(Errno("pwrite", path_));
-    }
-    done += static_cast<size_t>(w);
-  }
-  if (offset + data.size() > size_) size_ = offset + data.size();
-  return Status::Ok();
+Result<std::unique_ptr<File>> File::OpenReadOnly(const std::string& path) {
+  return OpenWithFlags(path, O_RDONLY);
 }
 
-Status File::Append(std::string_view data) { return WriteAt(size_, data); }
-
-Status File::Truncate(uint64_t size) {
-  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-    return Status::IoError(Errno("ftruncate", path_));
-  }
-  size_ = size;
-  return Status::Ok();
-}
-
-Status File::Sync() {
-  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
-  return Status::Ok();
+void File::SetWrapHookForTesting(WrapHook hook) {
+  WrapHookSlot() = std::move(hook);
 }
 
 Status RemoveFileIfExists(const std::string& path) {

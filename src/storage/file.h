@@ -2,6 +2,7 @@
 #define CALDERA_STORAGE_FILE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -10,50 +11,59 @@
 
 namespace caldera {
 
-/// Thin RAII wrapper around a POSIX file descriptor providing positional
-/// reads/writes. All Caldera on-disk structures (pager files, record files,
-/// index files) sit on top of this class.
+/// Positional-I/O file interface. All Caldera on-disk structures (pager
+/// files, record files, index files) sit on top of this class. The default
+/// implementation wraps a POSIX file descriptor; tests substitute
+/// fault-injecting wrappers via SetWrapHookForTesting to prove that every
+/// layer above converts I/O faults into Status.
 class File {
  public:
+  virtual ~File() = default;
+
   /// Opens (or creates) `path` for reading and writing.
   static Result<std::unique_ptr<File>> OpenOrCreate(const std::string& path);
 
+  /// Opens an existing file for reading and writing; NotFound if it does
+  /// not exist (never creates).
+  static Result<std::unique_ptr<File>> Open(const std::string& path);
+
   /// Opens an existing file read-only; NotFound if it does not exist.
   static Result<std::unique_ptr<File>> OpenReadOnly(const std::string& path);
-
-  ~File();
 
   File(const File&) = delete;
   File& operator=(const File&) = delete;
 
   /// Reads exactly `n` bytes at `offset` into `buf`. Fails with IoError on a
   /// short read (reading past EOF is an error, not a partial result).
-  Status ReadAt(uint64_t offset, size_t n, char* buf) const;
+  virtual Status ReadAt(uint64_t offset, size_t n, char* buf) const = 0;
 
   /// Writes all of `data` at `offset`, extending the file if needed.
-  Status WriteAt(uint64_t offset, std::string_view data);
+  virtual Status WriteAt(uint64_t offset, std::string_view data) = 0;
 
   /// Appends `data` at the current logical end of file.
-  Status Append(std::string_view data);
+  virtual Status Append(std::string_view data) { return WriteAt(size(), data); }
 
   /// Truncates/extends the file to `size` bytes.
-  Status Truncate(uint64_t size);
+  virtual Status Truncate(uint64_t size) = 0;
 
   /// Flushes data to stable storage.
-  Status Sync();
+  virtual Status Sync() = 0;
 
   /// Current size in bytes.
-  uint64_t size() const { return size_; }
+  virtual uint64_t size() const = 0;
 
-  const std::string& path() const { return path_; }
+  virtual const std::string& path() const = 0;
 
- private:
-  File(std::string path, int fd, uint64_t size)
-      : path_(std::move(path)), fd_(fd), size_(size) {}
+  /// Test hook: every file returned by the static factories is passed
+  /// through `hook` (when set), letting tests substitute fault-injecting
+  /// wrappers without touching production call sites. Pass nullptr to
+  /// uninstall. Not thread-safe; install before opening files.
+  using WrapHook =
+      std::function<std::unique_ptr<File>(std::unique_ptr<File>)>;
+  static void SetWrapHookForTesting(WrapHook hook);
 
-  std::string path_;
-  int fd_;
-  uint64_t size_;
+ protected:
+  File() = default;
 };
 
 /// Removes a file if it exists; OK if missing.

@@ -1,16 +1,50 @@
 #include "storage/pager.h"
 
 #include <cstring>
-#include <vector>
 
+#include "common/crc32c.h"
 #include "common/encoding.h"
 
 namespace caldera {
 
 namespace {
-constexpr char kMagic[8] = {'C', 'L', 'D', 'R', 'P', 'G', 'R', '1'};
+constexpr char kMagicV1[8] = {'C', 'L', 'D', 'R', 'P', 'G', 'R', '1'};
+constexpr char kMagicV2[8] = {'C', 'L', 'D', 'R', 'P', 'G', 'R', '2'};
 constexpr size_t kHeaderSize = 8 /*magic*/ + 4 /*page_size*/ + 8 /*pages*/;
 }  // namespace
+
+Pager::Pager(std::unique_ptr<File> file, uint32_t page_size,
+             uint64_t page_count, uint32_t version)
+    : file_(std::move(file)),
+      page_size_(page_size),
+      payload_size_(version >= 2 ? page_size - kPageTrailerSize : page_size),
+      page_count_(page_count),
+      version_(version) {
+  if (version_ >= 2) scratch_.resize(page_size_);
+}
+
+uint32_t Pager::PageCrc(const char* payload, PageId id) const {
+  uint32_t crc = Crc32c(payload, payload_size_);
+  char id_bytes[8];
+  std::memcpy(id_bytes, &id, 8);
+  return Crc32cExtend(crc, id_bytes, 8);
+}
+
+void Pager::StampPage(char* physical, PageId id) const {
+  uint32_t crc = PageCrc(physical, id);
+  std::memcpy(physical + payload_size_, &crc, 4);
+  std::memset(physical + payload_size_ + 4, 0, kPageTrailerSize - 4);
+}
+
+Status Pager::VerifyPage(const char* physical, PageId id) const {
+  uint32_t stored = GetFixed32(physical + payload_size_);
+  uint32_t padding = GetFixed32(physical + payload_size_ + 4);
+  if (stored != PageCrc(physical, id) || padding != 0) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id) + " of " + file_->path());
+  }
+  return Status::Ok();
+}
 
 Result<std::unique_ptr<Pager>> Pager::Create(const std::string& path,
                                              uint32_t page_size) {
@@ -21,23 +55,27 @@ Result<std::unique_ptr<Pager>> Pager::Create(const std::string& path,
                            File::OpenOrCreate(path));
   CALDERA_RETURN_IF_ERROR(file->Truncate(0));
   auto pager = std::unique_ptr<Pager>(
-      new Pager(std::move(file), page_size, /*page_count=*/1));
-  // Materialize the header page.
-  std::vector<char> zero(page_size, 0);
-  CALDERA_RETURN_IF_ERROR(pager->file_->WriteAt(0, {zero.data(), zero.size()}));
+      new Pager(std::move(file), page_size, /*page_count=*/1, /*version=*/2));
+  // Materialize the (checksummed) header page.
   CALDERA_RETURN_IF_ERROR(pager->WriteHeader());
   return pager;
 }
 
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
-  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
-                           File::OpenOrCreate(path));
+  // Non-creating open: a missing archive must surface as NotFound, not as a
+  // zero-byte junk file plus a Corruption error.
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> file, File::Open(path));
   if (file->size() < kHeaderSize) {
     return Status::Corruption("pager file too small: " + path);
   }
   char header[kHeaderSize];
   CALDERA_RETURN_IF_ERROR(file->ReadAt(0, kHeaderSize, header));
-  if (std::memcmp(header, kMagic, 8) != 0) {
+  uint32_t version;
+  if (std::memcmp(header, kMagicV2, 8) == 0) {
+    version = 2;
+  } else if (std::memcmp(header, kMagicV1, 8) == 0) {
+    version = 1;
+  } else {
     return Status::Corruption("bad pager magic in " + path);
   }
   uint32_t page_size = GetFixed32(header + 8);
@@ -45,18 +83,37 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
   if (page_size < 512 || (page_size & (page_size - 1)) != 0) {
     return Status::Corruption("bad page size in " + path);
   }
-  if (file->size() < page_count * static_cast<uint64_t>(page_size)) {
+  // Division, not multiplication: a corrupt header with a huge page_count
+  // must not wrap the product and slip past validation.
+  if (page_count == 0 || page_count > file->size() / page_size) {
     return Status::Corruption("pager file truncated: " + path);
   }
-  return std::unique_ptr<Pager>(
-      new Pager(std::move(file), page_size, page_count));
+  auto pager = std::unique_ptr<Pager>(
+      new Pager(std::move(file), page_size, page_count, version));
+  if (version >= 2) {
+    // Verify the header page end-to-end so corrupt header fields (beyond
+    // the sanity checks above) cannot steer reads.
+    CALDERA_RETURN_IF_ERROR(
+        pager->file_->ReadAt(0, page_size, pager->scratch_.data()));
+    CALDERA_RETURN_IF_ERROR(pager->VerifyPage(pager->scratch_.data(), 0));
+  }
+  return pager;
 }
 
 Status Pager::WriteHeader() {
-  std::string header(kMagic, 8);
+  std::string header;
+  header.append(version_ >= 2 ? kMagicV2 : kMagicV1, 8);
   PutFixed32(page_size_, &header);
   PutFixed64(page_count_, &header);
-  return file_->WriteAt(0, header);
+  if (version_ < 2) {
+    return file_->WriteAt(0, header);
+  }
+  // v2: the header page is checksummed like any other page — build the full
+  // physical image (header fields, zero padding, trailer) and write it.
+  std::memset(scratch_.data(), 0, page_size_);
+  std::memcpy(scratch_.data(), header.data(), header.size());
+  StampPage(scratch_.data(), 0);
+  return file_->WriteAt(0, {scratch_.data(), page_size_});
 }
 
 Status Pager::ReadPage(PageId id, char* buf) const {
@@ -64,21 +121,40 @@ Status Pager::ReadPage(PageId id, char* buf) const {
     return Status::OutOfRange("page " + std::to_string(id) + " >= count " +
                               std::to_string(page_count_));
   }
-  return file_->ReadAt(id * page_size_, page_size_, buf);
+  if (version_ < 2) {
+    return file_->ReadAt(id * page_size_, page_size_, buf);
+  }
+  CALDERA_RETURN_IF_ERROR(
+      file_->ReadAt(id * page_size_, page_size_, scratch_.data()));
+  CALDERA_RETURN_IF_ERROR(VerifyPage(scratch_.data(), id));
+  std::memcpy(buf, scratch_.data(), payload_size_);
+  return Status::Ok();
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
   if (id == 0 || id >= page_count_) {
     return Status::OutOfRange("cannot write page " + std::to_string(id));
   }
-  return file_->WriteAt(id * page_size_, {buf, page_size_});
+  if (version_ < 2) {
+    return file_->WriteAt(id * page_size_, {buf, page_size_});
+  }
+  std::memcpy(scratch_.data(), buf, payload_size_);
+  StampPage(scratch_.data(), id);
+  return file_->WriteAt(id * page_size_, {scratch_.data(), page_size_});
 }
 
 Result<PageId> Pager::AllocatePage() {
   PageId id = page_count_;
-  std::vector<char> zero(page_size_, 0);
-  CALDERA_RETURN_IF_ERROR(
-      file_->WriteAt(id * page_size_, {zero.data(), zero.size()}));
+  if (version_ < 2) {
+    std::vector<char> zero(page_size_, 0);
+    CALDERA_RETURN_IF_ERROR(
+        file_->WriteAt(id * page_size_, {zero.data(), zero.size()}));
+  } else {
+    std::memset(scratch_.data(), 0, page_size_);
+    StampPage(scratch_.data(), id);
+    CALDERA_RETURN_IF_ERROR(
+        file_->WriteAt(id * page_size_, {scratch_.data(), page_size_}));
+  }
   ++page_count_;
   return id;
 }

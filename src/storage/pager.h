@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/file.h"
@@ -17,26 +18,46 @@ using PageId = uint64_t;
 inline constexpr uint32_t kDefaultPageSize = 4096;
 inline constexpr PageId kInvalidPageId = 0;
 
+/// Bytes per page reserved for the v2 integrity trailer (CRC-32C + zero
+/// padding). Callers see pages of page_size() = physical - trailer bytes.
+inline constexpr uint32_t kPageTrailerSize = 8;
+
 /// A Pager exposes a file as an array of fixed-size pages. It owns page
 /// allocation and the on-disk header (magic, page size, page count); callers
 /// are responsible for the contents of data pages. Access normally goes
 /// through a BufferPool rather than directly through the Pager.
+///
+/// Two on-disk formats exist:
+///   v1 ("CLDRPGR1") — raw pages, no integrity metadata. Still readable
+///     (and writable) for archives created before checksums existed.
+///   v2 ("CLDRPGR2") — every physical page ends in an 8-byte trailer
+///     holding the CRC-32C of (payload || page id) plus zero padding. The
+///     checksum is stamped on every write and verified on every read, so a
+///     flipped bit, torn page, or misdirected write surfaces as
+///     Status::Corruption naming the file and page instead of propagating
+///     garbage into query results.
+/// Create always writes v2; Open auto-detects the version.
 class Pager {
  public:
   /// Creates a new pager file at `path` (truncating any existing file).
+  /// `page_size` is the physical page size; page_size() reports the usable
+  /// payload (physical minus the integrity trailer).
   static Result<std::unique_ptr<Pager>> Create(const std::string& path,
                                                uint32_t page_size);
 
-  /// Opens an existing pager file, validating the header.
+  /// Opens an existing pager file, validating the header (and, for v2, its
+  /// checksum). NotFound if `path` does not exist — never creates.
   static Result<std::unique_ptr<Pager>> Open(const std::string& path);
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  /// Reads page `id` into `buf` (page_size bytes).
+  /// Reads page `id` into `buf` (page_size() bytes), verifying its checksum
+  /// on v2 files.
   Status ReadPage(PageId id, char* buf) const;
 
-  /// Writes page `id` from `buf` (page_size bytes).
+  /// Writes page `id` from `buf` (page_size() bytes), stamping its checksum
+  /// on v2 files.
   Status WritePage(PageId id, const char* buf);
 
   /// Allocates a fresh zeroed page at the end of the file.
@@ -45,22 +66,34 @@ class Pager {
   /// Persists the header and fsyncs the file.
   Status Sync();
 
-  uint32_t page_size() const { return page_size_; }
+  /// Usable bytes per page (physical page minus the v2 trailer).
+  uint32_t page_size() const { return payload_size_; }
+  /// On-disk bytes per page.
+  uint32_t physical_page_size() const { return page_size_; }
+  /// On-disk format version (1 = unchecksummed legacy, 2 = CRC-32C).
+  uint32_t format_version() const { return version_; }
   /// Number of pages including the header page.
   uint64_t page_count() const { return page_count_; }
   const std::string& path() const { return file_->path(); }
 
  private:
-  Pager(std::unique_ptr<File> file, uint32_t page_size, uint64_t page_count)
-      : file_(std::move(file)),
-        page_size_(page_size),
-        page_count_(page_count) {}
+  Pager(std::unique_ptr<File> file, uint32_t page_size, uint64_t page_count,
+        uint32_t version);
 
   Status WriteHeader();
+  uint32_t PageCrc(const char* payload, PageId id) const;
+  Status VerifyPage(const char* physical, PageId id) const;
+  void StampPage(char* physical, PageId id) const;
 
   std::unique_ptr<File> file_;
-  uint32_t page_size_;
+  uint32_t page_size_;     // Physical bytes per page.
+  uint32_t payload_size_;  // page_size_ minus the v2 trailer.
   uint64_t page_count_;
+  uint32_t version_;
+  // Physical-page staging buffer for v2 reads/writes; mutable because
+  // ReadPage is logically const. Pagers are single-threaded by design (one
+  // per stream partition), so a single scratch buffer is safe.
+  mutable std::vector<char> scratch_;
 };
 
 }  // namespace caldera

@@ -7,9 +7,13 @@
 #include "caldera/archive.h"
 #include "caldera/mc_method.h"
 #include "caldera/scan_method.h"
+#include "caldera/system.h"
 #include "caldera/topk_method.h"
+#include "common/encoding.h"
 #include "common/logging.h"
 #include "index/mc_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection_file.h"
 #include "storage/file.h"
 #include "test_util.h"
 
@@ -21,6 +25,48 @@ class FailureTest : public ::testing::Test {
   FailureTest() : scratch_("failure_test") {}
   test::ScratchDir scratch_;
 };
+
+// Flips one bit of the byte at `offset` in `path`, in place.
+void FlipBit(const std::string& path, uint64_t offset) {
+  auto f = File::OpenOrCreate(path);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  char c;
+  ASSERT_TRUE((*f)->ReadAt(offset, 1, &c).ok());
+  c = char(c ^ 1);
+  ASSERT_TRUE((*f)->WriteAt(offset, {&c, 1}).ok());
+}
+
+// Flips one bit in every non-header page of a pager-backed file, reading
+// the page size out of its header. Guarantees any access to a data page
+// trips the checksum.
+void CorruptEveryDataPage(const std::string& path) {
+  auto f = File::OpenOrCreate(path);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  char header[12];
+  ASSERT_TRUE((*f)->ReadAt(0, 12, header).ok());
+  uint32_t page_size = GetFixed32(header + 8);
+  ASSERT_GE(page_size, 512u);
+  for (uint64_t off = page_size + 17; off < (*f)->size(); off += page_size) {
+    char c;
+    ASSERT_TRUE((*f)->ReadAt(off, 1, &c).ok());
+    c = char(c ^ 1);
+    ASSERT_TRUE((*f)->WriteAt(off, {&c, 1}).ok());
+  }
+}
+
+void ExpectSameSignal(const std::vector<TimestepProbability>& got,
+                      const std::vector<TimestepProbability>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].time, want[i].time) << "entry " << i;
+    EXPECT_NEAR(got[i].prob, want[i].prob, 1e-12) << "entry " << i;
+  }
+}
+
+RegularQuery TwoStepQuery() {
+  return RegularQuery::Sequence("f", {Predicate::Equality(0, 3, "s3"),
+                                      Predicate::Equality(0, 4, "s4")});
+}
 
 TEST_F(FailureTest, BTreeOpenOnGarbageFile) {
   {
@@ -156,6 +202,280 @@ TEST_F(FailureTest, ScanOnEmptyArchiveDirectory) {
   auto list = archive.ListStreams();
   ASSERT_TRUE(list.ok());
   EXPECT_TRUE(list->empty());
+}
+
+TEST_F(FailureTest, FaultInjectionFlipsReadPathBitsOnly) {
+  const std::string path = scratch_.Path("flip.dat");
+  {
+    FaultInjectionOptions options;
+    options.flip_bits = {0, 8 * 3 + 1};  // Byte 0 bit 0, byte 3 bit 1.
+    ScopedFaultInjection fault("flip.dat", options);
+    auto f = File::OpenOrCreate(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("abcdefgh").ok());
+    char buf[8];
+    ASSERT_TRUE((*f)->ReadAt(0, 8, buf).ok());
+    EXPECT_EQ(buf[0], char('a' ^ 1));
+    EXPECT_EQ(buf[3], char('d' ^ 2));
+    EXPECT_EQ(buf[1], 'b');
+    EXPECT_EQ(buf[7], 'h');
+    EXPECT_EQ(fault.counters().flipped_bits, 2u);
+    EXPECT_EQ(fault.counters().reads, 1u);
+  }
+  // The flips model silent media corruption on the read path: the bytes on
+  // disk are untouched.
+  auto f = File::OpenReadOnly(path);
+  ASSERT_TRUE(f.ok());
+  char buf[8];
+  ASSERT_TRUE((*f)->ReadAt(0, 8, buf).ok());
+  EXPECT_EQ(std::string(buf, 8), "abcdefgh");
+}
+
+TEST_F(FailureTest, DirtyWritebackFailureDuringEvictionIsStatusNotCrash) {
+  {
+    auto pager = Pager::Create(scratch_.Path("evict.pg"), 512);
+    ASSERT_TRUE(pager.ok());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE((*pager)->AllocatePage().ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  FaultInjectionOptions options;
+  options.fail_writes_from = 0;
+  ScopedFaultInjection fault("evict.pg", options);
+  auto pager = Pager::Open(scratch_.Path("evict.pg"));
+  ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+  BufferPool pool(pager->get(), 2);
+  {
+    auto h1 = pool.Fetch(1);
+    ASSERT_TRUE(h1.ok());
+    h1->MarkDirty();
+  }
+  {
+    auto h2 = pool.Fetch(2);
+    ASSERT_TRUE(h2.ok());
+    h2->MarkDirty();
+  }
+  // Fetching a third page must evict a dirty frame; the failed writeback
+  // has to surface as the fetch's Status.
+  auto h3 = pool.Fetch(3);
+  ASSERT_FALSE(h3.ok());
+  EXPECT_EQ(h3.status().code(), StatusCode::kIoError);
+  EXPECT_GE(fault.counters().injected_write_errors, 1u);
+  EXPECT_FALSE(pool.FlushAll().ok());
+  // The pool destructor retries the flush, logs, and must not crash.
+}
+
+TEST_F(FailureTest, CorruptBtcIndexFallsBackToScan) {
+  MarkovianStream stream = test::MakeBandedStream(120, 10, 11);
+  Caldera system(scratch_.Path("a_btc"));
+  ASSERT_TRUE(system.archive()
+                  ->CreateStream("s", stream, DiskLayout::kSeparated)
+                  .ok());
+  ASSERT_TRUE(system.archive()->BuildBtc("s", 0).ok());
+  RegularQuery query = TwoStepQuery();
+  ExecOptions scan_only;
+  scan_only.method = AccessMethodKind::kScan;
+  auto reference = system.Execute("s", query, scan_only);
+  ASSERT_TRUE(reference.ok());
+
+  // Drop cached handles first: a live handle would re-stamp the header
+  // page on close and erase the injected corruption.
+  system.InvalidateStreams();
+  FlipBit(system.archive()->StreamDir("s") + "/btc.attr0.bt", 100);
+
+  // Strict execution refuses the damaged archive...
+  EXPECT_EQ(system.Execute("s", query, {}).status().code(),
+            StatusCode::kCorruption);
+  // ...while opting into fallback degrades to the scan and matches it.
+  ExecOptions rescue;
+  rescue.fallback_to_scan = true;
+  auto rescued = system.Execute("s", query, rescue);
+  ASSERT_TRUE(rescued.ok()) << rescued.status().ToString();
+  EXPECT_EQ(rescued->method, AccessMethodKind::kScan);
+  EXPECT_GE(rescued->stats.scan_fallbacks, 1u);
+  EXPECT_GE(rescued->stats.corruption_events, 1u);
+  ExpectSameSignal(rescued->signal, reference->signal);
+}
+
+TEST_F(FailureTest, CorruptBtpIndexFallsBackToScan) {
+  MarkovianStream stream = test::MakeBandedStream(120, 10, 12);
+  Caldera system(scratch_.Path("a_btp"));
+  ASSERT_TRUE(system.archive()
+                  ->CreateStream("s", stream, DiskLayout::kSeparated)
+                  .ok());
+  ASSERT_TRUE(system.archive()->BuildBtp("s", 0).ok());
+  RegularQuery query = TwoStepQuery();
+  ExecOptions scan_only;
+  scan_only.method = AccessMethodKind::kScan;
+  auto reference = system.Execute("s", query, scan_only);
+  ASSERT_TRUE(reference.ok());
+
+  system.InvalidateStreams();
+  FlipBit(system.archive()->StreamDir("s") + "/btp.attr0.bt", 100);
+
+  EXPECT_FALSE(system.Execute("s", query, {}).ok());
+  ExecOptions rescue;
+  rescue.fallback_to_scan = true;
+  auto rescued = system.Execute("s", query, rescue);
+  ASSERT_TRUE(rescued.ok()) << rescued.status().ToString();
+  EXPECT_EQ(rescued->method, AccessMethodKind::kScan);
+  EXPECT_GE(rescued->stats.scan_fallbacks, 1u);
+  EXPECT_GE(rescued->stats.corruption_events, 1u);
+  ExpectSameSignal(rescued->signal, reference->signal);
+}
+
+TEST_F(FailureTest, CorruptMcIndexFallsBackToScan) {
+  MarkovianStream stream = test::MakeBandedStream(120, 10, 13);
+  Caldera system(scratch_.Path("a_mc"));
+  ASSERT_TRUE(system.archive()
+                  ->CreateStream("s", stream, DiskLayout::kSeparated)
+                  .ok());
+  ASSERT_TRUE(system.archive()->BuildMc("s", {}).ok());
+  RegularQuery query = TwoStepQuery();
+  ExecOptions scan_only;
+  scan_only.method = AccessMethodKind::kScan;
+  auto reference = system.Execute("s", query, scan_only);
+  ASSERT_TRUE(reference.ok());
+
+  system.InvalidateStreams();
+  FlipBit(system.archive()->StreamDir("s") + "/mc/mc.meta", 0);
+
+  EXPECT_FALSE(system.Execute("s", query, {}).ok());
+  ExecOptions rescue;
+  rescue.fallback_to_scan = true;
+  auto rescued = system.Execute("s", query, rescue);
+  ASSERT_TRUE(rescued.ok()) << rescued.status().ToString();
+  EXPECT_EQ(rescued->method, AccessMethodKind::kScan);
+  EXPECT_GE(rescued->stats.scan_fallbacks, 1u);
+  EXPECT_GE(rescued->stats.corruption_events, 1u);
+  ExpectSameSignal(rescued->signal, reference->signal);
+}
+
+TEST_F(FailureTest, MidQueryIndexCorruptionRescuedByScan) {
+  MarkovianStream stream = test::MakeBandedStream(200, 12, 14);
+  Caldera system(scratch_.Path("a_mid"));
+  ASSERT_TRUE(system.archive()
+                  ->CreateStream("s", stream, DiskLayout::kSeparated)
+                  .ok());
+  ASSERT_TRUE(system.archive()->BuildBtc("s", 0).ok());
+  ASSERT_TRUE(system.archive()->BuildBtp("s", 0).ok());
+  RegularQuery query = TwoStepQuery();
+  ExecOptions scan_only;
+  scan_only.method = AccessMethodKind::kScan;
+  auto reference = system.Execute("s", query, scan_only);
+  ASSERT_TRUE(reference.ok());
+
+  // Every data page of the BT_C index is damaged: whether the corruption is
+  // noticed at open time or mid-traversal, the rescue must produce the
+  // scan's exact signal.
+  system.InvalidateStreams();
+  CorruptEveryDataPage(system.archive()->StreamDir("s") + "/btc.attr0.bt");
+
+  ExecOptions strict;
+  strict.method = AccessMethodKind::kBTree;
+  EXPECT_FALSE(system.Execute("s", query, strict).ok());
+
+  ExecOptions rescue = strict;
+  rescue.fallback_to_scan = true;
+  auto rescued = system.Execute("s", query, rescue);
+  ASSERT_TRUE(rescued.ok()) << rescued.status().ToString();
+  EXPECT_EQ(rescued->method, AccessMethodKind::kScan);
+  EXPECT_EQ(rescued->stats.scan_fallbacks, 1u);
+  ExpectSameSignal(rescued->signal, reference->signal);
+}
+
+TEST_F(FailureTest, CorruptStreamDataIsNotRescuable) {
+  MarkovianStream stream = test::MakeBandedStream(120, 10, 15);
+  Caldera system(scratch_.Path("a_data"));
+  ASSERT_TRUE(system.archive()
+                  ->CreateStream("s", stream, DiskLayout::kSeparated)
+                  .ok());
+  RegularQuery query = TwoStepQuery();
+  ASSERT_TRUE(system.Execute("s", query, {}).ok());
+
+  // The stream data itself is the scan's input: with it damaged there is
+  // nothing to fall back to, and the error must surface (never a silently
+  // wrong signal).
+  system.InvalidateStreams();
+  CorruptEveryDataPage(system.archive()->StreamDir("s") + "/cpts.rec");
+
+  ExecOptions rescue;
+  rescue.fallback_to_scan = true;
+  auto result = system.Execute("s", query, rescue);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FailureTest, RebuildIndexesRecoversFromCorruption) {
+  MarkovianStream stream = test::MakeBandedStream(150, 10, 16);
+  Caldera system(scratch_.Path("a_rebuild"));
+  ASSERT_TRUE(system.archive()
+                  ->CreateStream("s", stream, DiskLayout::kSeparated)
+                  .ok());
+  ASSERT_TRUE(system.archive()->BuildBtc("s", 0).ok());
+  ASSERT_TRUE(system.archive()->BuildBtp("s", 0).ok());
+  ASSERT_TRUE(system.archive()->BuildMc("s", {}).ok());
+  RegularQuery query = TwoStepQuery();
+  ExecOptions scan_only;
+  scan_only.method = AccessMethodKind::kScan;
+  auto reference = system.Execute("s", query, scan_only);
+  ASSERT_TRUE(reference.ok());
+
+  const std::string dir = system.archive()->StreamDir("s");
+  system.InvalidateStreams();
+  FlipBit(dir + "/btc.attr0.bt", 100);
+  FlipBit(dir + "/btp.attr0.bt", 100);
+  FlipBit(dir + "/mc/mc.meta", 0);
+  EXPECT_FALSE(system.Execute("s", query, {}).ok());
+
+  ASSERT_TRUE(system.RebuildIndexes("s").ok());
+
+  // Strict execution works again, with zero degradation reported.
+  auto healed = system.Execute("s", query, {});
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(healed->stats.scan_fallbacks, 0u);
+  EXPECT_EQ(healed->stats.corruption_events, 0u);
+  ExpectSameSignal(healed->signal, reference->signal);
+}
+
+TEST_F(FailureTest, RandomReadErrorsNeverYieldWrongSignal) {
+  MarkovianStream stream = test::MakeBandedStream(100, 10, 17);
+  Caldera system(scratch_.Path("a_chaos"));
+  ASSERT_TRUE(system.archive()
+                  ->CreateStream("s", stream, DiskLayout::kSeparated)
+                  .ok());
+  ASSERT_TRUE(system.archive()->BuildBtc("s", 0).ok());
+  RegularQuery query = TwoStepQuery();
+  ExecOptions scan_only;
+  scan_only.method = AccessMethodKind::kScan;
+  auto reference = system.Execute("s", query, scan_only);
+  ASSERT_TRUE(reference.ok());
+
+  ExecOptions btree_only;
+  btree_only.method = AccessMethodKind::kBTree;
+  auto reference_btree = system.Execute("s", query, btree_only);
+  ASSERT_TRUE(reference_btree.ok());
+
+  // Random IoErrors on the index file: every outcome must be either a clean
+  // Status or a result identical to the pristine run of whichever method
+  // ended up executing — never garbage.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultInjectionOptions options;
+    options.seed = seed;
+    options.read_error_prob = 0.2;
+    ScopedFaultInjection fault("btc.attr0.bt", options);
+    system.InvalidateStreams();  // Force reopen through the fault hook.
+    ExecOptions rescue;
+    rescue.fallback_to_scan = true;
+    auto result = system.Execute("s", query, rescue);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+    } else if (result->method == AccessMethodKind::kScan) {
+      ExpectSameSignal(result->signal, reference->signal);
+    } else {
+      ASSERT_EQ(result->method, AccessMethodKind::kBTree);
+      ExpectSameSignal(result->signal, reference_btree->signal);
+    }
+  }
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/encoding.h"
 #include "common/rng.h"
@@ -78,14 +80,17 @@ TEST_F(StorageTest, PagerAllocateReadWrite) {
   auto pager = Pager::Create(Path("p"), 512);
   ASSERT_TRUE(pager.ok()) << pager.status().ToString();
   EXPECT_EQ((*pager)->page_count(), 1u);  // Header page.
+  EXPECT_EQ((*pager)->physical_page_size(), 512u);
+  EXPECT_EQ((*pager)->page_size(), 512u - kPageTrailerSize);
   auto p1 = (*pager)->AllocatePage();
   ASSERT_TRUE(p1.ok());
   EXPECT_EQ(*p1, 1u);
-  std::string data(512, 'x');
+  const size_t payload = (*pager)->page_size();
+  std::string data(payload, 'x');
   ASSERT_TRUE((*pager)->WritePage(*p1, data.data()).ok());
-  char buf[512];
-  ASSERT_TRUE((*pager)->ReadPage(*p1, buf).ok());
-  EXPECT_EQ(std::memcmp(buf, data.data(), 512), 0);
+  std::vector<char> buf(payload);
+  ASSERT_TRUE((*pager)->ReadPage(*p1, buf.data()).ok());
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), payload), 0);
 }
 
 TEST_F(StorageTest, PagerRejectsBadPageSize) {
@@ -115,7 +120,9 @@ TEST_F(StorageTest, PagerPersistsAcrossReopen) {
   }
   auto pager = Pager::Open(Path("p"));
   ASSERT_TRUE(pager.ok()) << pager.status().ToString();
-  EXPECT_EQ((*pager)->page_size(), 1024u);
+  EXPECT_EQ((*pager)->physical_page_size(), 1024u);
+  EXPECT_EQ((*pager)->page_size(), 1024u - kPageTrailerSize);
+  EXPECT_EQ((*pager)->format_version(), 2u);
   EXPECT_EQ((*pager)->page_count(), 2u);
   char buf[1024];
   ASSERT_TRUE((*pager)->ReadPage(1, buf).ok());
@@ -129,6 +136,148 @@ TEST_F(StorageTest, PagerOpenRejectsGarbage) {
     ASSERT_TRUE((*file)->Append(std::string(2048, 'g')).ok());
   }
   EXPECT_EQ(Pager::Open(Path("p")).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, PagerOpenMissingIsNotFoundAndDoesNotCreate) {
+  EXPECT_EQ(Pager::Open(Path("missing")).status().code(),
+            StatusCode::kNotFound);
+  // Regression: Open used to create a zero-byte junk file before failing.
+  EXPECT_FALSE(FileExists(Path("missing")));
+}
+
+TEST_F(StorageTest, PagerOpenRejectsOverflowingPageCount) {
+  // A v1 header whose page_count * page_size wraps to 0 mod 2^64. The
+  // truncation check must use division so the wrap cannot slip past it.
+  {
+    auto file = File::OpenOrCreate(Path("p"));
+    ASSERT_TRUE(file.ok());
+    std::string header = "CLDRPGR1";
+    PutFixed32(512, &header);
+    PutFixed64(uint64_t{1} << 55, &header);  // 2^55 * 512 == 2^64 == 0.
+    header.resize(1024, '\0');
+    ASSERT_TRUE((*file)->Append(header).ok());
+  }
+  EXPECT_EQ(Pager::Open(Path("p")).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, PagerDetectsAnySingleBitFlipInDataPage) {
+  {
+    auto pager = Pager::Create(Path("p"), 512);
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    std::string data(504, '\0');
+    for (size_t i = 0; i < data.size(); ++i) data[i] = char('a' + i % 26);
+    ASSERT_TRUE((*pager)->WritePage(1, data.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  // Flip every bit position (byte b, bit b%8) across the whole physical
+  // page — payload, CRC, and zero padding alike — and require Corruption
+  // naming the page.
+  char buf[512];
+  for (size_t byte = 0; byte < 512; ++byte) {
+    auto file = File::OpenOrCreate(Path("p"));
+    ASSERT_TRUE(file.ok());
+    char c;
+    ASSERT_TRUE((*file)->ReadAt(512 + byte, 1, &c).ok());
+    c = char(c ^ (1u << (byte % 8)));
+    ASSERT_TRUE((*file)->WriteAt(512 + byte, {&c, 1}).ok());
+
+    auto pager = Pager::Open(Path("p"));
+    ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+    Status st = (*pager)->ReadPage(1, buf);
+    ASSERT_EQ(st.code(), StatusCode::kCorruption) << "byte " << byte;
+    EXPECT_NE(st.message().find("page 1"), std::string::npos) << st.message();
+
+    c = char(c ^ (1u << (byte % 8)));  // Restore for the next iteration.
+    ASSERT_TRUE((*file)->WriteAt(512 + byte, {&c, 1}).ok());
+  }
+}
+
+TEST_F(StorageTest, PagerDetectsBitFlipInHeaderPage) {
+  {
+    auto pager = Pager::Create(Path("p"), 512);
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  // The header page is checksummed too: flips in its zero padding or
+  // trailer (beyond the magic/size/count fields, which have their own
+  // sanity checks) must fail the open.
+  for (size_t byte : {25u, 200u, 504u, 508u, 511u}) {
+    auto file = File::OpenOrCreate(Path("p"));
+    ASSERT_TRUE(file.ok());
+    char c;
+    ASSERT_TRUE((*file)->ReadAt(byte, 1, &c).ok());
+    char flipped = char(c ^ 1);
+    ASSERT_TRUE((*file)->WriteAt(byte, {&flipped, 1}).ok());
+    EXPECT_EQ(Pager::Open(Path("p")).status().code(), StatusCode::kCorruption)
+        << "byte " << byte;
+    ASSERT_TRUE((*file)->WriteAt(byte, {&c, 1}).ok());
+  }
+}
+
+TEST_F(StorageTest, PagerChecksumBindsPageId) {
+  // A misdirected write — page content landing at the wrong offset — is
+  // caught because the CRC covers the page id, not just the payload.
+  {
+    auto pager = Pager::Create(Path("p"), 512);
+    ASSERT_TRUE(pager.ok());
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    ASSERT_TRUE((*pager)->AllocatePage().ok());
+    std::string one(504, '1');
+    std::string two(504, '2');
+    ASSERT_TRUE((*pager)->WritePage(1, one.data()).ok());
+    ASSERT_TRUE((*pager)->WritePage(2, two.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  {
+    auto file = File::OpenOrCreate(Path("p"));
+    ASSERT_TRUE(file.ok());
+    char p1[512], p2[512];
+    ASSERT_TRUE((*file)->ReadAt(512, 512, p1).ok());
+    ASSERT_TRUE((*file)->ReadAt(1024, 512, p2).ok());
+    ASSERT_TRUE((*file)->WriteAt(512, {p2, 512}).ok());
+    ASSERT_TRUE((*file)->WriteAt(1024, {p1, 512}).ok());
+  }
+  auto pager = Pager::Open(Path("p"));
+  ASSERT_TRUE(pager.ok());
+  char buf[504];
+  EXPECT_EQ((*pager)->ReadPage(1, buf).code(), StatusCode::kCorruption);
+  EXPECT_EQ((*pager)->ReadPage(2, buf).code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, PagerReadsLegacyV1Files) {
+  // Hand-build a v1 file: 20-byte header in page 0, one raw data page.
+  {
+    auto file = File::OpenOrCreate(Path("p"));
+    ASSERT_TRUE(file.ok());
+    std::string image = "CLDRPGR1";
+    PutFixed32(512, &image);
+    PutFixed64(2, &image);
+    image.resize(512, '\0');
+    image.append(std::string(512, 'v'));
+    ASSERT_TRUE((*file)->Append(image).ok());
+  }
+  auto pager = Pager::Open(Path("p"));
+  ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+  EXPECT_EQ((*pager)->format_version(), 1u);
+  // v1 has no trailer: the full physical page is payload.
+  EXPECT_EQ((*pager)->page_size(), 512u);
+  EXPECT_EQ((*pager)->physical_page_size(), 512u);
+  char buf[512];
+  ASSERT_TRUE((*pager)->ReadPage(1, buf).ok());
+  EXPECT_EQ(std::string(buf, 512), std::string(512, 'v'));
+  // v1 files stay writable (raw, no checksum stamping).
+  std::string updated(512, 'w');
+  ASSERT_TRUE((*pager)->WritePage(1, updated.data()).ok());
+  auto grown = (*pager)->AllocatePage();
+  ASSERT_TRUE(grown.ok());
+  ASSERT_TRUE((*pager)->Sync().ok());
+  auto reopened = Pager::Open(Path("p"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->page_count(), 3u);
+  ASSERT_TRUE((*reopened)->ReadPage(1, buf).ok());
+  EXPECT_EQ(buf[0], 'w');
 }
 
 TEST_F(StorageTest, BufferPoolCachesPages) {
@@ -195,6 +344,27 @@ TEST_F(StorageTest, BufferPoolExhaustionWhenAllPinned) {
   h1->Release();
   auto h3b = pool.Fetch(3);
   EXPECT_TRUE(h3b.ok());
+}
+
+TEST_F(StorageTest, BufferPoolNewPageOnFullyPinnedPoolDoesNotOrphanPage) {
+  auto pager = Pager::Create(Path("p"), 512);
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), 2);
+  auto h1 = pool.NewPage();
+  auto h2 = pool.NewPage();
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  ASSERT_EQ((*pager)->page_count(), 3u);  // Header + two new pages.
+  // Regression: NewPage used to allocate the page before grabbing a frame,
+  // so a fully-pinned pool leaked an orphaned page into the file.
+  auto h3 = pool.NewPage();
+  EXPECT_EQ(h3.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ((*pager)->page_count(), 3u);
+  h1->Release();
+  auto h4 = pool.NewPage();
+  ASSERT_TRUE(h4.ok());
+  EXPECT_EQ(h4->page_id(), 3u);
+  EXPECT_EQ((*pager)->page_count(), 4u);
 }
 
 TEST_F(StorageTest, RecordFileRoundTrip) {
