@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "hmm/smoother.h"
 #include "index/btc_index.h"
+#include "markov/kernels.h"
 #include "markov/stream_io.h"
 #include "reg/reg_operator.h"
 #include "rfid/simulator.h"
@@ -84,6 +85,85 @@ void BM_ComposeCpts(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ComposeCpts)->Arg(32)->Arg(128)->Arg(352);
+
+// --------------------------------------------------------------------------
+// Flat CSR kernels (markov/kernels.h). BM_CptPropagate above is the legacy
+// AoS reference; the kernel benchmarks run the same shapes through the
+// dispatched, forced-scalar, and (when supported) SIMD paths so the speedup
+// and the scalar-vs-SIMD split are both visible. Args: {domain,
+// row_density_permille} — density varies nnz at fixed domain.
+
+void KernelPropagateBench(benchmark::State& state, bool force_scalar) {
+  uint32_t domain = static_cast<uint32_t>(state.range(0));
+  double density = static_cast<double>(state.range(1)) / 1000.0;
+  Cpt cpt = RandomCpt(domain, density, 1);
+  Distribution in = RandomDistribution(domain, 2);
+  kernels::PropagationWorkspace ws;
+  kernels::internal::ForceScalar(force_scalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::Propagate(cpt, in, &ws));
+  }
+  kernels::internal::ForceScalar(false);
+  state.SetItemsProcessed(state.iterations() * cpt.nnz());
+  state.SetLabel(force_scalar ? "scalar" : kernels::Backend());
+}
+
+void BM_KernelPropagate(benchmark::State& state) {
+  KernelPropagateBench(state, /*force_scalar=*/false);
+}
+BENCHMARK(BM_KernelPropagate)
+    ->Args({32, 100})
+    ->Args({128, 100})
+    ->Args({352, 10})
+    ->Args({352, 100})
+    ->Args({352, 500})
+    ->Args({1024, 100});
+
+void BM_KernelPropagateScalar(benchmark::State& state) {
+  KernelPropagateBench(state, /*force_scalar=*/true);
+}
+BENCHMARK(BM_KernelPropagateScalar)
+    ->Args({32, 100})
+    ->Args({128, 100})
+    ->Args({352, 10})
+    ->Args({352, 100})
+    ->Args({352, 500})
+    ->Args({1024, 100});
+
+void KernelComposeBench(benchmark::State& state, bool force_scalar) {
+  uint32_t domain = static_cast<uint32_t>(state.range(0));
+  double density = static_cast<double>(state.range(1)) / 1000.0;
+  Cpt a = RandomCpt(domain, density, 3);
+  Cpt b = RandomCpt(domain, density, 4);
+  kernels::PropagationWorkspace ws;
+  kernels::internal::ForceScalar(force_scalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::Compose(a, b, domain, &ws));
+  }
+  kernels::internal::ForceScalar(false);
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+  state.SetLabel(force_scalar ? "scalar" : kernels::Backend());
+}
+
+void BM_KernelCompose(benchmark::State& state) {
+  KernelComposeBench(state, /*force_scalar=*/false);
+}
+BENCHMARK(BM_KernelCompose)
+    ->Args({32, 100})
+    ->Args({128, 100})
+    ->Args({352, 10})
+    ->Args({352, 100})
+    ->Args({1024, 50});
+
+void BM_KernelComposeScalar(benchmark::State& state) {
+  KernelComposeBench(state, /*force_scalar=*/true);
+}
+BENCHMARK(BM_KernelComposeScalar)
+    ->Args({32, 100})
+    ->Args({128, 100})
+    ->Args({352, 10})
+    ->Args({352, 100})
+    ->Args({1024, 50});
 
 void BM_BTreeInsert(benchmark::State& state) {
   std::string path = MicroDir() + "/insert.bt";

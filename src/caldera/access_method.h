@@ -45,8 +45,11 @@ struct ExecStats {
   uint64_t mc_raw_fetches = 0;     ///< Raw CPTs fetched for MC residues.
   uint64_t corruption_events = 0;  ///< Corrupt pages/indexes encountered.
   uint64_t scan_fallbacks = 0;     ///< Executions rescued by a scan fallback.
+  uint64_t span_cache_hits = 0;    ///< Composed span CPTs served from cache.
+  uint64_t span_cache_misses = 0;  ///< Span lookups that had to compose.
   BufferPoolStats stream_io;       ///< Page traffic on the stream files.
   BufferPoolStats index_io;        ///< Page traffic on index files.
+  double kernel_seconds = 0.0;     ///< Wall seconds in propagate/compose kernels.
   double elapsed_seconds = 0.0;    ///< Wall-clock execution time.
 
   /// Field-wise accumulation, used to roll up per-stream stats into batch
@@ -60,8 +63,11 @@ struct ExecStats {
     mc_raw_fetches += o.mc_raw_fetches;
     corruption_events += o.corruption_events;
     scan_fallbacks += o.scan_fallbacks;
+    span_cache_hits += o.span_cache_hits;
+    span_cache_misses += o.span_cache_misses;
     stream_io += o.stream_io;
     index_io += o.index_io;
+    kernel_seconds += o.kernel_seconds;
     elapsed_seconds += o.elapsed_seconds;
     return *this;
   }

@@ -78,6 +78,11 @@ Result<std::unique_ptr<ArchivedStream>> ArchivedStream::Open(
         pool_pages);
     if (mc.ok()) {
       archived->mc_ = std::move(*mc);
+      // Private per-handle cache so span memoization works even outside
+      // the Caldera facade; the facade rebinds its shared cache on open.
+      archived->AttachSpanCache(
+          std::make_shared<SpanCptCache>(kDefaultSpanCacheBytes),
+          /*epoch=*/0);
     } else {
       CALDERA_RETURN_IF_ERROR(admit("mc", mc.status()));
     }
@@ -100,6 +105,18 @@ Result<std::unique_ptr<ArchivedStream>> ArchivedStream::Open(
     }
   }
   return archived;
+}
+
+void ArchivedStream::AttachSpanCache(std::shared_ptr<SpanCptCache> cache,
+                                     uint64_t epoch) {
+  if (mc_ == nullptr || cache == nullptr) return;
+  span_cache_ = std::move(cache);
+  SpanCacheBinding binding;
+  binding.cache = span_cache_;
+  binding.stream_id = FingerprintString(dir_);
+  binding.epoch = epoch;
+  binding.condition_fp = 0;  // The archived MC index is unconditioned.
+  mc_->AttachSpanCache(std::move(binding));
 }
 
 JoinIndex* ArchivedStream::join_index(const std::string& column) {

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "index/join_index.h"
 #include "index/mc_index.h"
+#include "index/span_cache.h"
 #include "markov/stream_io.h"
 #include "query/predicate.h"
 
@@ -65,6 +66,22 @@ class ArchivedStream {
   McIndex* mc() { return mc_.get(); }
   JoinIndex* join_index(const std::string& column);
 
+  /// Rebinds the MC index's span-CPT cache. Open installs a small private
+  /// cache (kDefaultSpanCacheBytes, epoch 0); the Caldera facade replaces
+  /// it with its process-wide shared cache stamped with the handle-cache
+  /// epoch, so epoch bumps logically invalidate old entries. stream_id is
+  /// derived from the stream directory. No-op when the stream has no MC
+  /// index.
+  void AttachSpanCache(std::shared_ptr<SpanCptCache> cache, uint64_t epoch);
+  /// The attached cache (never null once Open succeeds with an MC index;
+  /// null for MC-less streams).
+  const std::shared_ptr<SpanCptCache>& span_cache() const {
+    return span_cache_;
+  }
+
+  /// Budget of the private per-handle cache installed by Open.
+  static constexpr size_t kDefaultSpanCacheBytes = 32u << 20;
+
   /// Aggregated index-page traffic since ResetStats.
   BufferPoolStats IndexIoStats() const;
   void ResetStats();
@@ -77,6 +94,7 @@ class ArchivedStream {
   std::vector<std::unique_ptr<BTree>> btc_;
   std::vector<std::unique_ptr<BTree>> btp_;
   std::unique_ptr<McIndex> mc_;
+  std::shared_ptr<SpanCptCache> span_cache_;
   std::map<std::string, std::unique_ptr<JoinIndex>> join_indexes_;
   std::vector<SkippedIndex> skipped_indexes_;
 };

@@ -69,6 +69,7 @@ Result<QueryResult> RunBTreeMethod(ArchivedStream* archived,
   IntervalIntersector intersector(std::move(cursors), std::move(offsets));
   IntervalMerger merger(n);
   uint64_t reg_updates = 0;
+  double kernel_seconds = 0.0;
 
   auto run_interval = [&](IntervalMerger::Interval iv) -> Status {
     // Clamp to the stream (an intersection near the end may imply an
@@ -79,6 +80,7 @@ Result<QueryResult> RunBTreeMethod(ArchivedStream* archived,
     CALDERA_RETURN_IF_ERROR(
         ProcessInterval(stream, &reg, iv.first, iv.last, &result.signal));
     reg_updates += reg.num_updates();
+    kernel_seconds += reg.kernel_seconds();
     ++result.stats.intervals;
     return Status::Ok();
   };
@@ -98,6 +100,7 @@ Result<QueryResult> RunBTreeMethod(ArchivedStream* archived,
   }
 
   result.stats.reg_updates = reg_updates;
+  result.stats.kernel_seconds = kernel_seconds;
   result.stats.stream_io = stream->IoStats();
   result.stats.index_io = archived->IndexIoStats();
   result.stats.elapsed_seconds =

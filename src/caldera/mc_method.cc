@@ -51,8 +51,13 @@ Result<QueryResult> RunMcMethod(ArchivedStream* archived,
       CALDERA_RETURN_IF_ERROR(stream->ReadTransition(t, &transition));
       result.signal.push_back({t, reg.Update(transition)});
     } else {
-      CALDERA_RETURN_IF_ERROR(mc->ComputeCpt(t_prev, t, &transition));
-      result.signal.push_back({t, reg.UpdateSpanning(transition, t - t_prev)});
+      // Spans are resolved through the shared span-CPT cache: repeated
+      // variable-length queries over the same stream skip the composition
+      // chain entirely on a hit, and the shared Cpt carries its CSR kernel
+      // view across queries.
+      CALDERA_ASSIGN_OR_RETURN(std::shared_ptr<const Cpt> span,
+                               mc->GetSpanCpt(t_prev, t));
+      result.signal.push_back({t, reg.UpdateSpanning(*span, t - t_prev)});
     }
     t_prev = t;
     CALDERA_RETURN_IF_ERROR(relevant.Next());
@@ -62,6 +67,9 @@ Result<QueryResult> RunMcMethod(ArchivedStream* archived,
   result.stats.intervals = result.stats.relevant_timesteps;
   result.stats.mc_entry_fetches = mc->entry_fetches();
   result.stats.mc_raw_fetches = mc->raw_fetches();
+  result.stats.span_cache_hits = mc->span_cache_hits();
+  result.stats.span_cache_misses = mc->span_cache_misses();
+  result.stats.kernel_seconds = reg.kernel_seconds() + mc->compose_seconds();
   result.stats.stream_io = stream->IoStats();
   result.stats.index_io = archived->IndexIoStats();
   result.stats.elapsed_seconds =

@@ -34,6 +34,7 @@ Result<QueryResult> RunScanMethod(ArchivedStream* archived,
   result.stats.reg_updates = reg.num_updates();
   result.stats.relevant_timesteps = stream->length();
   result.stats.intervals = 1;
+  result.stats.kernel_seconds = reg.kernel_seconds();
   result.stats.stream_io = stream->IoStats();
   result.stats.index_io = archived->IndexIoStats();
   result.stats.elapsed_seconds =

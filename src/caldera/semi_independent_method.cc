@@ -8,9 +8,11 @@
 namespace caldera {
 
 Result<QueryResult> RunSemiIndependentMethod(ArchivedStream* archived,
-                                             const RegularQuery& query) {
+                                             const RegularQuery& query,
+                                             bool use_cached_spans) {
   CALDERA_RETURN_IF_ERROR(query.ValidateAgainst(archived->schema()));
   StoredStream* stream = archived->stream();
+  McIndex* mc = use_cached_spans ? archived->mc() : nullptr;
 
   auto start_clock = std::chrono::steady_clock::now();
   archived->ResetStats();
@@ -45,6 +47,11 @@ Result<QueryResult> RunSemiIndependentMethod(ArchivedStream* archived,
       // keep the exact correlation (line 9 of Algorithm 5).
       CALDERA_RETURN_IF_ERROR(stream->ReadTransition(t, &transition));
       result.signal.push_back({t, reg.Update(transition)});
+    } else if (std::shared_ptr<const Cpt> span =
+                   mc != nullptr ? mc->TryCachedSpan(t_prev, t) : nullptr) {
+      // Opportunistic exactness: another query already composed this span,
+      // so the spanning update costs only the cache lookup.
+      result.signal.push_back({t, reg.UpdateSpanning(*span, t - t_prev)});
     } else {
       // Gap: approximate with independence (line 11).
       CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(t, &marginal));
@@ -56,6 +63,11 @@ Result<QueryResult> RunSemiIndependentMethod(ArchivedStream* archived,
 
   result.stats.reg_updates = reg.num_updates();
   result.stats.intervals = result.stats.relevant_timesteps;
+  if (mc != nullptr) {
+    result.stats.span_cache_hits = mc->span_cache_hits();
+    result.stats.span_cache_misses = mc->span_cache_misses();
+  }
+  result.stats.kernel_seconds = reg.kernel_seconds();
   result.stats.stream_io = stream->IoStats();
   result.stats.index_io = archived->IndexIoStats();
   result.stats.elapsed_seconds =

@@ -16,8 +16,15 @@ namespace caldera {
 /// correlation is free.
 ///
 /// No accuracy guarantee (Section 3.4.3); Figure 9(c) quantifies the error.
+///
+/// With `use_cached_spans`, a gap step first probes the MC index's span-CPT
+/// cache (never composing): a hit upgrades the step to an exact spanning
+/// update at hash-lookup cost, a miss falls back to the independence
+/// approximation. Off by default — the signal then depends on what earlier
+/// queries happened to cache, which breaks batch determinism guarantees.
 Result<QueryResult> RunSemiIndependentMethod(ArchivedStream* archived,
-                                             const RegularQuery& query);
+                                             const RegularQuery& query,
+                                             bool use_cached_spans = false);
 
 }  // namespace caldera
 

@@ -23,6 +23,10 @@ Result<std::shared_ptr<ArchivedStream>> Caldera::GetStream(
   // serialize on each other (ExecuteBatch opens one stream per worker).
   CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<ArchivedStream> opened,
                            archive_.OpenStream(name, pool_pages));
+  // Rebind the facade's shared span cache under the epoch of this open, so
+  // composed span CPTs are reused across queries, handles, and batch
+  // workers — and orphaned wholesale when the epoch advances.
+  opened->AttachSpanCache(span_cache_, open_epoch);
   std::shared_ptr<ArchivedStream> stream = std::move(opened);
   std::lock_guard<std::mutex> lock(mu_);
   if (epoch_ != open_epoch) return stream;  // Invalidated mid-open: serve
@@ -110,8 +114,9 @@ Result<QueryResult> Caldera::ExecuteOnHandle(ArchivedStream* archived,
       return finalize(std::move(result));
     }
     case AccessMethodKind::kSemiIndependent: {
-      CALDERA_ASSIGN_OR_RETURN(QueryResult result,
-                               RunSemiIndependentMethod(archived, query));
+      CALDERA_ASSIGN_OR_RETURN(
+          QueryResult result,
+          RunSemiIndependentMethod(archived, query, options.use_cached_spans));
       return finalize(std::move(result));
     }
     case AccessMethodKind::kAuto:
@@ -193,8 +198,12 @@ Result<QueryResult> Caldera::Execute(const std::string& stream_name,
 
 Status Caldera::RebuildIndexes(const std::string& stream_name) {
   CALDERA_RETURN_IF_ERROR(archive_.RebuildIndexes(stream_name));
-  // New index files ⇒ cached handles are stale.
+  // New index files ⇒ cached handles are stale, and so is every composed
+  // span CPT. The epoch bump already orphans them logically (fresh handles
+  // carry the new epoch in their cache keys); the Clear also reclaims the
+  // bytes instead of waiting for LRU pressure.
   InvalidateStreams();
+  span_cache_->Clear();
   return Status::Ok();
 }
 

@@ -35,6 +35,13 @@ struct ExecOptions {
   /// corrupt artifacts in stats.corruption_events. Errors from the scan
   /// itself (i.e. the stream data is damaged too) always propagate.
   bool fallback_to_scan = false;
+  /// Lets the semi-independent method consult the shared span-CPT cache on
+  /// gap steps: a cached span upgrades the step from the independence
+  /// approximation to an exact spanning update, at hash-lookup cost. Off by
+  /// default because results then depend on what earlier (MC-method)
+  /// queries happened to cache — e.g. batch runs would lose their
+  /// thread-count-independent determinism.
+  bool use_cached_spans = false;
 };
 
 /// The Caldera system facade (Figure 1): an archive of smoothed Markovian
@@ -58,9 +65,20 @@ struct ExecOptions {
 class Caldera {
  public:
   explicit Caldera(std::string archive_root)
-      : archive_(std::move(archive_root)) {}
+      : archive_(std::move(archive_root)),
+        span_cache_(std::make_shared<SpanCptCache>(kSpanCacheBytes)) {}
 
   StreamArchive* archive() { return &archive_; }
+
+  /// The process-wide cache of composed span CPTs, shared by every stream
+  /// handle this facade opens (keys carry stream id + epoch, so entries
+  /// never collide across streams and epoch bumps orphan stale ones).
+  const std::shared_ptr<SpanCptCache>& span_cache() const {
+    return span_cache_;
+  }
+
+  /// Byte budget of the facade's shared span-CPT cache.
+  static constexpr size_t kSpanCacheBytes = 64u << 20;
 
   /// Runs `query` against stream `stream_name` using the requested (or
   /// planned) access method. With options.k > 0 and a fixed-length query
@@ -108,6 +126,7 @@ class Caldera {
   };
 
   StreamArchive archive_;
+  std::shared_ptr<SpanCptCache> span_cache_;
   mutable std::mutex mu_;
   uint64_t epoch_ = 0;
   std::map<std::string, CachedHandle> open_streams_;

@@ -106,6 +106,7 @@ Result<QueryResult> RunTaWalk(ArchivedStream* archived,
   std::unordered_set<uint64_t> evaluated;
   RegOperator reg(query, schema);
   uint64_t reg_updates = 0;
+  double kernel_seconds = 0.0;
 
   // Predicate marginal probe (line 9 of Algorithm 3) against the stream.
   Distribution marginal;
@@ -169,6 +170,7 @@ Result<QueryResult> RunTaWalk(ArchivedStream* archived,
       p = reg.Update(transition);
     }
     reg_updates += reg.num_updates();
+    kernel_seconds += reg.kernel_seconds();
     ++result.stats.intervals;
     best.Evaluate(s + n - 1, p);
   }
@@ -176,6 +178,7 @@ Result<QueryResult> RunTaWalk(ArchivedStream* archived,
   result.signal = best.Take();
   result.stats.reg_updates = reg_updates;
   result.stats.relevant_timesteps = evaluated.size();
+  result.stats.kernel_seconds = kernel_seconds;
   result.stats.stream_io = stream->IoStats();
   result.stats.index_io = archived->IndexIoStats();
   result.stats.elapsed_seconds =

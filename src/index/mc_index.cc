@@ -1,6 +1,7 @@
 #include "index/mc_index.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/encoding.h"
 #include "common/logging.h"
@@ -189,11 +190,60 @@ Status McIndex::ComputeCpt(uint64_t from, uint64_t to, Cpt* out) {
       have_result = true;
     } else {
       ++compositions_;
+      const auto start = std::chrono::steady_clock::now();
       result = ComposeCpts(result, block, domain_size_);
+      compose_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
     }
   }
   *out = std::move(result);
   return Status::Ok();
+}
+
+SpanKey McIndex::CacheKey(uint64_t from, uint64_t to) const {
+  SpanKey key = span_cache_.KeyFor(from, to);
+  // With truncation the composed span depends on which levels supplied it,
+  // so a non-default min level must hash to a different entry.
+  if (min_level_ != 1) {
+    key.condition_fp = FingerprintCombine(key.condition_fp, min_level_);
+  }
+  return key;
+}
+
+Result<std::shared_ptr<const Cpt>> McIndex::GetSpanCpt(uint64_t from,
+                                                       uint64_t to) {
+  if (span_cache_.valid() && to >= from + 2) {
+    const SpanKey key = CacheKey(from, to);
+    if (std::shared_ptr<const Cpt> cached = span_cache_.cache->Get(key)) {
+      ++span_cache_hits_;
+      return cached;
+    }
+    ++span_cache_misses_;
+    Cpt composed;
+    CALDERA_RETURN_IF_ERROR(ComputeCpt(from, to, &composed));
+    auto shared = std::make_shared<const Cpt>(std::move(composed));
+    // Build the CSR kernel view before publishing so every consumer of
+    // this cache entry propagates through the one flattened copy.
+    shared->csr();
+    span_cache_.cache->Put(key, shared);
+    return shared;
+  }
+  Cpt composed;
+  CALDERA_RETURN_IF_ERROR(ComputeCpt(from, to, &composed));
+  return std::make_shared<const Cpt>(std::move(composed));
+}
+
+std::shared_ptr<const Cpt> McIndex::TryCachedSpan(uint64_t from, uint64_t to) {
+  if (!span_cache_.valid() || to < from + 2) return nullptr;
+  std::shared_ptr<const Cpt> cached = span_cache_.cache->Get(CacheKey(from, to));
+  if (cached != nullptr) {
+    ++span_cache_hits_;
+  } else {
+    ++span_cache_misses_;
+  }
+  return cached;
 }
 
 uint64_t McIndex::StoredBytes() const {
@@ -209,6 +259,9 @@ void McIndex::ResetStats() {
   entry_fetches_ = 0;
   raw_fetches_ = 0;
   compositions_ = 0;
+  span_cache_hits_ = 0;
+  span_cache_misses_ = 0;
+  compose_seconds_ = 0.0;
   for (auto& reader : levels_) {
     if (reader != nullptr) reader->ResetStats();
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/span_cache.h"
 #include "markov/cpt.h"
 #include "markov/stream.h"
 #include "markov/stream_io.h"
@@ -95,6 +96,28 @@ class McIndex {
   /// into from+1 .. to. Requires from < to.
   Status ComputeCpt(uint64_t from, uint64_t to, Cpt* out);
 
+  /// Binds a (usually shared) span-CPT cache to this index. The binding's
+  /// condition_fp must describe any destination conditioning baked into
+  /// this index (0 for the plain index); min_level is mixed into the key
+  /// on lookup because with truncation the composed span depends on which
+  /// levels were used.
+  void AttachSpanCache(SpanCacheBinding binding) {
+    span_cache_ = std::move(binding);
+  }
+  const SpanCacheBinding& span_cache_binding() const { return span_cache_; }
+
+  /// ComputeCpt through the attached span cache: spans of gap >= 2 are
+  /// served from the cache when present (hit) or composed once and
+  /// inserted (miss). Gap-1 spans and cacheless indexes fall through to a
+  /// plain ComputeCpt. The returned CPT is shared, so its lazily built CSR
+  /// kernel view is also reused across queries.
+  Result<std::shared_ptr<const Cpt>> GetSpanCpt(uint64_t from, uint64_t to);
+
+  /// Cache-only probe: returns the cached span CPT or nullptr, never
+  /// composing. Used by the semi-independent method to opportunistically
+  /// upgrade a gap step to an exact spanning update at lookup cost.
+  std::shared_ptr<const Cpt> TryCachedSpan(uint64_t from, uint64_t to);
+
   /// Restricts lookups to levels >= `level` (level-0 residues still come
   /// from the raw stream). Models the paper's "omit lower index levels"
   /// experiment (Figure 11(a)); also lowers effective storage.
@@ -117,6 +140,11 @@ class McIndex {
   uint64_t raw_fetches() const { return raw_fetches_; }
   /// Count of CPT compositions since ResetStats.
   uint64_t compositions() const { return compositions_; }
+  /// Span-cache traffic through this index since ResetStats.
+  uint64_t span_cache_hits() const { return span_cache_hits_; }
+  uint64_t span_cache_misses() const { return span_cache_misses_; }
+  /// Wall seconds spent composing CPTs in ComputeCpt since ResetStats.
+  double compose_seconds() const { return compose_seconds_; }
   void ResetStats();
 
   BufferPoolStats IoStats() const;
@@ -126,6 +154,9 @@ class McIndex {
 
   Status FetchEntry(uint32_t level, uint64_t block, Cpt* out);
 
+  /// Full cache key for a span, folding in min_level when non-default.
+  SpanKey CacheKey(uint64_t from, uint64_t to) const;
+
   std::string dir_;
   uint32_t alpha_ = 2;
   uint64_t stream_length_ = 0;
@@ -134,9 +165,13 @@ class McIndex {
   TransitionSource transitions_;
   std::vector<std::unique_ptr<RecordFileReader>> levels_;  // [0] unused.
   std::vector<uint64_t> level_spans_;  // alpha^i per level.
+  SpanCacheBinding span_cache_;
   uint64_t entry_fetches_ = 0;
   uint64_t raw_fetches_ = 0;
   uint64_t compositions_ = 0;
+  uint64_t span_cache_hits_ = 0;
+  uint64_t span_cache_misses_ = 0;
+  double compose_seconds_ = 0.0;
   std::string scratch_;
 };
 

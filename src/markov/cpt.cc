@@ -1,13 +1,17 @@
 #include "markov/cpt.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/encoding.h"
+#include "common/logging.h"
+#include "markov/kernels.h"
 
 namespace caldera {
 
 void Cpt::SetRow(ValueId src, std::vector<RowEntry> entries) {
+  csr_.reset();
   std::sort(entries.begin(), entries.end(),
             [](const RowEntry& a, const RowEntry& b) { return a.dst < b.dst; });
   // Merge duplicate destinations.
@@ -28,6 +32,34 @@ void Cpt::SetRow(ValueId src, std::vector<RowEntry> entries) {
   } else {
     rows_.insert(it, Row{src, std::move(merged)});
   }
+}
+
+void Cpt::AppendRowSorted(ValueId src, std::vector<RowEntry> entries) {
+  csr_.reset();
+  CALDERA_CHECK(rows_.empty() || rows_.back().src < src)
+      << "AppendRowSorted rows must arrive in ascending src order";
+  rows_.push_back({src, std::move(entries)});
+}
+
+std::shared_ptr<const kernels::CsrCpt> Cpt::LoadCsr() const {
+  return std::atomic_load_explicit(&csr_, std::memory_order_acquire);
+}
+
+const kernels::CsrCpt& Cpt::csr() const {
+  std::shared_ptr<const kernels::CsrCpt> snap = LoadCsr();
+  if (snap == nullptr) {
+    auto built =
+        std::make_shared<const kernels::CsrCpt>(kernels::CsrCpt::From(*this));
+    std::shared_ptr<const kernels::CsrCpt> expected;
+    // First store wins; a racing builder adopts the stored view so the
+    // returned reference always aliases csr_ (stable until mutation).
+    if (std::atomic_compare_exchange_strong(&csr_, &expected, built)) {
+      snap = std::move(built);
+    } else {
+      snap = std::move(expected);
+    }
+  }
+  return *snap;
 }
 
 const Cpt::Row* Cpt::FindRow(ValueId src) const {
@@ -51,10 +83,16 @@ double Cpt::Probability(ValueId src, ValueId dst) const {
 Distribution Cpt::Propagate(const Distribution& in) const {
   std::vector<Distribution::Entry> out;
   // Accumulate sparsely: gather contributions, then merge via FromPairs.
+  // Input entries and rows are both sorted by id, so a two-pointer merge
+  // finds each row in O(1) amortized instead of a per-entry binary search.
+  // (The flat kernels in markov/kernels.h are the fast path; this stays the
+  // allocation-free-of-scratch reference implementation.)
+  auto row_it = rows_.begin();
   for (const Distribution::Entry& e : in.entries()) {
-    const Row* row = FindRow(e.value);
-    if (row == nullptr) continue;
-    for (const RowEntry& t : row->entries) {
+    while (row_it != rows_.end() && row_it->src < e.value) ++row_it;
+    if (row_it == rows_.end()) break;
+    if (row_it->src != e.value) continue;
+    for (const RowEntry& t : row_it->entries) {
       out.push_back({t.dst, e.prob * t.prob});
     }
   }
@@ -147,30 +185,14 @@ Result<Cpt> Cpt::Parse(std::string_view data, size_t* offset) {
 }
 
 Cpt ComposeCpts(const Cpt& first, const Cpt& second, uint32_t domain_size) {
-  Cpt out;
-  std::vector<double> scratch(domain_size, 0.0);
-  std::vector<ValueId> touched;
-  for (const Cpt::Row& row : first.rows()) {
-    touched.clear();
-    for (const Cpt::RowEntry& mid : row.entries) {
-      const Cpt::Row* second_row = second.FindRow(mid.dst);
-      if (second_row == nullptr) continue;
-      for (const Cpt::RowEntry& e : second_row->entries) {
-        if (scratch[e.dst] == 0.0) touched.push_back(e.dst);
-        scratch[e.dst] += mid.prob * e.prob;
-      }
-    }
-    if (touched.empty()) continue;
-    std::sort(touched.begin(), touched.end());
-    std::vector<Cpt::RowEntry> entries;
-    entries.reserve(touched.size());
-    for (ValueId dst : touched) {
-      entries.push_back({dst, scratch[dst]});
-      scratch[dst] = 0.0;
-    }
-    out.SetRow(row.src, std::move(entries));
-  }
-  return out;
+  // Delegates to the dispatched compute kernel. The workspace (dense
+  // scratch, mark bytes, staging buffers) is thread-local so repeated
+  // compositions — the MC index build composes one CPT per stream timestep
+  // — allocate nothing after warm-up, and no per-row re-sort of touched
+  // destinations happens (the old AoS implementation sorted the touched
+  // list once per source row).
+  static thread_local kernels::PropagationWorkspace workspace;
+  return kernels::Compose(first, second, domain_size, &workspace);
 }
 
 Cpt IdentityCpt(const std::vector<ValueId>& support) {

@@ -1,6 +1,7 @@
 #include "markov/distribution.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "common/encoding.h"
@@ -26,6 +27,33 @@ Distribution Distribution::FromDense(const std::vector<double>& probs) {
   for (size_t i = 0; i < probs.size(); ++i) {
     if (probs[i] != 0.0) {
       d.entries_.push_back({static_cast<ValueId>(i), probs[i]});
+    }
+  }
+  return d;
+}
+
+Distribution Distribution::FromSorted(std::vector<Entry> entries) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < entries.size(); ++i) {
+    assert(entries[i - 1].value < entries[i].value &&
+           "FromSorted entries must be strictly ascending");
+  }
+#endif
+  Distribution d;
+  d.entries_ = std::move(entries);
+  return d;
+}
+
+Distribution Distribution::FromDenseScratch(std::vector<double>& dense,
+                                            ValueId begin, ValueId end) {
+  size_t count = 0;
+  for (ValueId i = begin; i < end; ++i) count += dense[i] != 0.0 ? 1 : 0;
+  Distribution d;
+  d.entries_.reserve(count);
+  for (ValueId i = begin; i < end; ++i) {
+    if (dense[i] != 0.0) {
+      d.entries_.push_back({i, dense[i]});
+      dense[i] = 0.0;
     }
   }
   return d;

@@ -35,6 +35,17 @@ class Distribution {
   /// Builds from a dense probability vector (zeros dropped).
   static Distribution FromDense(const std::vector<double>& probs);
 
+  /// Builds from entries already sorted by value with no duplicates —
+  /// the move-friendly fast path for kernel outputs and merges of a single
+  /// sorted run (no re-sort, no merge pass). Checked in debug builds.
+  static Distribution FromSorted(std::vector<Entry> entries);
+
+  /// Drains the nonzero slots of `dense[begin, end)` into a distribution
+  /// and zeroes them, restoring the all-zero scratch invariant of a
+  /// kernels::PropagationWorkspace. One exact-sized allocation.
+  static Distribution FromDenseScratch(std::vector<double>& dense,
+                                       ValueId begin, ValueId end);
+
   /// Point mass on `value`.
   static Distribution Point(ValueId value);
 

@@ -1,0 +1,512 @@
+#include "markov/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define CALDERA_KERNELS_X86 1
+#endif
+
+namespace caldera {
+namespace kernels {
+
+CsrCpt CsrCpt::From(const Cpt& cpt) {
+  CsrCpt out;
+  const std::vector<Cpt::Row>& rows = cpt.rows();
+  size_t nnz = 0;
+  for (const Cpt::Row& row : rows) nnz += row.entries.size();
+  out.srcs.reserve(rows.size());
+  out.offsets.reserve(rows.size() + 1);
+  out.dsts.reserve(nnz);
+  out.probs.reserve(nnz);
+  out.offsets.push_back(0);
+  ValueId lo = ~ValueId{0};
+  ValueId hi = 0;
+  for (const Cpt::Row& row : rows) {
+    out.srcs.push_back(row.src);
+    for (const Cpt::RowEntry& e : row.entries) {
+      out.dsts.push_back(e.dst);
+      out.probs.push_back(e.prob);
+    }
+    if (!row.entries.empty()) {
+      // Row entries are sorted by dst, so front/back bound the row.
+      lo = std::min(lo, row.entries.front().dst);
+      hi = std::max(hi, row.entries.back().dst);
+    }
+    out.offsets.push_back(static_cast<uint32_t>(out.dsts.size()));
+  }
+  if (!out.dsts.empty()) {
+    out.dst_begin = lo;
+    out.dst_end = hi + 1;
+  }
+  return out;
+}
+
+void PropagationWorkspace::EnsureDomain(uint32_t domain) {
+  if (dense.size() < domain) {
+    dense.resize(domain, 0.0);
+    mark.resize(domain, 0);
+  }
+}
+
+namespace {
+
+// When the estimated number of scattered contributions is below span/kDenseScanFraction
+// the kernels track touched slots explicitly (mark bytes + sort) instead of
+// scanning the whole [dst_begin, dst_end) range to re-sparsify. This keeps
+// tiny propagations on huge domains output-sensitive.
+constexpr size_t kDenseScanFraction = 4;
+
+// ---------------------------------------------------------------------------
+// Shared scalar building blocks.
+// ---------------------------------------------------------------------------
+
+// dense[dsts[j]] += w * probs[j] for one CSR row slice. Destinations within
+// a row are strictly ascending (SetRow merges duplicates), so slots are
+// distinct and the updates are order-independent.
+inline void ScatterRowScalar(double* dense, const ValueId* dsts,
+                             const double* probs, size_t n, double w) {
+  for (size_t j = 0; j < n; ++j) dense[dsts[j]] += w * probs[j];
+}
+
+// Same, recording first-touched slots via mark bytes (sparse mode).
+inline void ScatterRowTracked(double* dense, uint8_t* mark,
+                              std::vector<ValueId>* touched,
+                              const ValueId* dsts, const double* probs,
+                              size_t n, double w) {
+  for (size_t j = 0; j < n; ++j) {
+    ValueId d = dsts[j];
+    if (!mark[d]) {
+      mark[d] = 1;
+      touched->push_back(d);
+    }
+    dense[d] += w * probs[j];
+  }
+}
+
+// Drains the touched slots (sparse mode): sorts them, emits nonzero slots
+// into `out`, and restores the dense/mark zero invariant.
+inline void DrainTouched(PropagationWorkspace* ws,
+                         std::vector<Distribution::Entry>* out) {
+  std::sort(ws->touched.begin(), ws->touched.end());
+  for (ValueId d : ws->touched) {
+    double p = ws->dense[d];
+    if (p != 0.0) out->push_back({d, p});
+    ws->dense[d] = 0.0;
+    ws->mark[d] = 0;
+  }
+  ws->touched.clear();
+}
+
+// Scans dense[begin, end) (dense mode): emits nonzero slots into `out` and
+// zeroes them, restoring the workspace invariant.
+inline void DrainScanScalar(double* dense, ValueId begin, ValueId end,
+                            std::vector<Distribution::Entry>* out) {
+  for (ValueId i = begin; i < end; ++i) {
+    if (dense[i] != 0.0) {
+      out->push_back({i, dense[i]});
+      dense[i] = 0.0;
+    }
+  }
+}
+
+// Variants of the drains emitting Cpt::RowEntry (compose kernels).
+inline void DrainTouchedRow(PropagationWorkspace* ws,
+                            std::vector<Cpt::RowEntry>* out) {
+  std::sort(ws->touched.begin(), ws->touched.end());
+  for (ValueId d : ws->touched) {
+    double p = ws->dense[d];
+    if (p != 0.0) out->push_back({d, p});
+    ws->dense[d] = 0.0;
+    ws->mark[d] = 0;
+  }
+  ws->touched.clear();
+}
+
+inline void DrainScanRowScalar(double* dense, ValueId begin, ValueId end,
+                               std::vector<Cpt::RowEntry>* out) {
+  for (ValueId i = begin; i < end; ++i) {
+    if (dense[i] != 0.0) {
+      out->push_back({i, dense[i]});
+      dense[i] = 0.0;
+    }
+  }
+}
+
+// Average entries per row, used to estimate scatter volume before choosing
+// between touched-tracking and dense-scan re-sparsification.
+inline size_t AvgRowLen(const CsrCpt& cpt) {
+  return cpt.num_rows() == 0 ? 0 : cpt.nnz() / cpt.num_rows() + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (the reference implementation).
+// ---------------------------------------------------------------------------
+
+Distribution PropagateScalarImpl(const CsrCpt& cpt, const Distribution& in,
+                                 PropagationWorkspace* ws) {
+  if (cpt.empty() || in.empty()) return Distribution();
+  ws->EnsureDomain(cpt.dst_end);
+  const size_t span = cpt.dst_end - cpt.dst_begin;
+  const size_t est = std::min(in.support_size(), cpt.num_rows()) * AvgRowLen(cpt);
+  const bool sparse_mode = est * kDenseScanFraction < span;
+
+  double* dense = ws->dense.data();
+  // Two-pointer merge: input entries and CSR rows are both sorted by id.
+  size_t ri = 0;
+  const size_t num_rows = cpt.num_rows();
+  for (const Distribution::Entry& e : in.entries()) {
+    while (ri < num_rows && cpt.srcs[ri] < e.value) ++ri;
+    if (ri == num_rows) break;
+    if (cpt.srcs[ri] != e.value) continue;
+    const uint32_t b = cpt.offsets[ri];
+    const uint32_t n = cpt.offsets[ri + 1] - b;
+    if (sparse_mode) {
+      ScatterRowTracked(dense, ws->mark.data(), &ws->touched, &cpt.dsts[b],
+                        &cpt.probs[b], n, e.prob);
+    } else {
+      ScatterRowScalar(dense, &cpt.dsts[b], &cpt.probs[b], n, e.prob);
+    }
+  }
+
+  if (sparse_mode) {
+    ws->entries.clear();
+    DrainTouched(ws, &ws->entries);
+    return Distribution::FromSorted(ws->entries);
+  }
+  return Distribution::FromDenseScratch(ws->dense, cpt.dst_begin, cpt.dst_end);
+}
+
+Cpt ComposeScalarImpl(const CsrCpt& first, const CsrCpt& second,
+                      uint32_t domain_size, PropagationWorkspace* ws) {
+  Cpt out;
+  if (first.empty() || second.empty()) return out;
+  ws->EnsureDomain(std::max(domain_size, second.dst_end));
+  const size_t span = second.dst_end - second.dst_begin;
+  const size_t avg = AvgRowLen(second);
+  double* dense = ws->dense.data();
+  const size_t second_rows = second.num_rows();
+
+  for (size_t r = 0; r < first.num_rows(); ++r) {
+    const uint32_t mb = first.offsets[r];
+    const uint32_t me = first.offsets[r + 1];
+    const bool sparse_mode = (me - mb) * avg * kDenseScanFraction < span;
+    // Mids of this row are sorted, as are second's row sources: merge.
+    size_t si = 0;
+    for (uint32_t m = mb; m < me; ++m) {
+      const ValueId mid = first.dsts[m];
+      while (si < second_rows && second.srcs[si] < mid) ++si;
+      if (si == second_rows) break;
+      if (second.srcs[si] != mid) continue;
+      const uint32_t b = second.offsets[si];
+      const uint32_t n = second.offsets[si + 1] - b;
+      if (sparse_mode) {
+        ScatterRowTracked(dense, ws->mark.data(), &ws->touched, &second.dsts[b],
+                          &second.probs[b], n, first.probs[m]);
+      } else {
+        ScatterRowScalar(dense, &second.dsts[b], &second.probs[b], n,
+                         first.probs[m]);
+      }
+    }
+    ws->row_entries.clear();
+    if (sparse_mode) {
+      DrainTouchedRow(ws, &ws->row_entries);
+    } else {
+      DrainScanRowScalar(dense, second.dst_begin, second.dst_end,
+                         &ws->row_entries);
+    }
+    if (!ws->row_entries.empty()) {
+      out.AppendRowSorted(first.srcs[r], ws->row_entries);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA kernels.
+// ---------------------------------------------------------------------------
+
+#ifdef CALDERA_KERNELS_X86
+
+// dense[dsts[j]] += w * probs[j], four lanes at a time: gather the current
+// dense values, FMA, write the lanes back individually (AVX2 has gathers
+// but no scatter). Within-row destinations are unique, so lanes never
+// collide.
+__attribute__((target("avx2,fma"))) void ScatterRowAvx2(
+    double* dense, const ValueId* dsts, const double* probs, size_t n,
+    double w) {
+  const __m256d vw = _mm256_set1_pd(w);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dsts + j));
+    __m256d p = _mm256_loadu_pd(probs + j);
+    __m256d cur = _mm256_i32gather_pd(dense, idx, 8);
+    __m256d res = _mm256_fmadd_pd(vw, p, cur);
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, res);
+    dense[dsts[j + 0]] = lanes[0];
+    dense[dsts[j + 1]] = lanes[1];
+    dense[dsts[j + 2]] = lanes[2];
+    dense[dsts[j + 3]] = lanes[3];
+  }
+  for (; j < n; ++j) dense[dsts[j]] += w * probs[j];
+}
+
+// Vectorized re-sparsify: compare four slots against zero at once and emit
+// only the set lanes (movemask + ctz). NEQ_UQ so a NaN slot is still
+// drained rather than silently left behind.
+__attribute__((target("avx2,fma"))) void DrainScanAvx2(
+    double* dense, ValueId begin, ValueId end,
+    std::vector<Distribution::Entry>* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  ValueId i = begin;
+  for (; i + 4 <= end; i += 4) {
+    __m256d v = _mm256_loadu_pd(dense + i);
+    int m = _mm256_movemask_pd(_mm256_cmp_pd(v, zero, _CMP_NEQ_UQ));
+    while (m != 0) {
+      int k = __builtin_ctz(static_cast<unsigned>(m));
+      m &= m - 1;
+      ValueId d = i + static_cast<ValueId>(k);
+      out->push_back({d, dense[d]});
+      dense[d] = 0.0;
+    }
+  }
+  for (; i < end; ++i) {
+    if (dense[i] != 0.0) {
+      out->push_back({i, dense[i]});
+      dense[i] = 0.0;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void DrainScanRowAvx2(
+    double* dense, ValueId begin, ValueId end,
+    std::vector<Cpt::RowEntry>* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  ValueId i = begin;
+  for (; i + 4 <= end; i += 4) {
+    __m256d v = _mm256_loadu_pd(dense + i);
+    int m = _mm256_movemask_pd(_mm256_cmp_pd(v, zero, _CMP_NEQ_UQ));
+    while (m != 0) {
+      int k = __builtin_ctz(static_cast<unsigned>(m));
+      m &= m - 1;
+      ValueId d = i + static_cast<ValueId>(k);
+      out->push_back({d, dense[d]});
+      dense[d] = 0.0;
+    }
+  }
+  for (; i < end; ++i) {
+    if (dense[i] != 0.0) {
+      out->push_back({i, dense[i]});
+      dense[i] = 0.0;
+    }
+  }
+}
+
+Distribution PropagateSimdImpl(const CsrCpt& cpt, const Distribution& in,
+                               PropagationWorkspace* ws) {
+  if (cpt.empty() || in.empty()) return Distribution();
+  ws->EnsureDomain(cpt.dst_end);
+  const size_t span = cpt.dst_end - cpt.dst_begin;
+  const size_t est =
+      std::min(in.support_size(), cpt.num_rows()) * AvgRowLen(cpt);
+  const bool sparse_mode = est * kDenseScanFraction < span;
+
+  double* dense = ws->dense.data();
+  size_t ri = 0;
+  const size_t num_rows = cpt.num_rows();
+  for (const Distribution::Entry& e : in.entries()) {
+    while (ri < num_rows && cpt.srcs[ri] < e.value) ++ri;
+    if (ri == num_rows) break;
+    if (cpt.srcs[ri] != e.value) continue;
+    const uint32_t b = cpt.offsets[ri];
+    const uint32_t n = cpt.offsets[ri + 1] - b;
+    if (sparse_mode) {
+      // Sparse outputs are dominated by bookkeeping, not arithmetic: the
+      // tracked scalar scatter is the right tool.
+      ScatterRowTracked(dense, ws->mark.data(), &ws->touched, &cpt.dsts[b],
+                        &cpt.probs[b], n, e.prob);
+    } else {
+      ScatterRowAvx2(dense, &cpt.dsts[b], &cpt.probs[b], n, e.prob);
+    }
+  }
+
+  ws->entries.clear();
+  if (sparse_mode) {
+    DrainTouched(ws, &ws->entries);
+  } else {
+    DrainScanAvx2(dense, cpt.dst_begin, cpt.dst_end, &ws->entries);
+  }
+  return Distribution::FromSorted(ws->entries);
+}
+
+Cpt ComposeSimdImpl(const CsrCpt& first, const CsrCpt& second,
+                    uint32_t domain_size, PropagationWorkspace* ws) {
+  Cpt out;
+  if (first.empty() || second.empty()) return out;
+  ws->EnsureDomain(std::max(domain_size, second.dst_end));
+  const size_t span = second.dst_end - second.dst_begin;
+  const size_t avg = AvgRowLen(second);
+  double* dense = ws->dense.data();
+  const size_t second_rows = second.num_rows();
+
+  for (size_t r = 0; r < first.num_rows(); ++r) {
+    const uint32_t mb = first.offsets[r];
+    const uint32_t me = first.offsets[r + 1];
+    const bool sparse_mode = (me - mb) * avg * kDenseScanFraction < span;
+    size_t si = 0;
+    for (uint32_t m = mb; m < me; ++m) {
+      const ValueId mid = first.dsts[m];
+      while (si < second_rows && second.srcs[si] < mid) ++si;
+      if (si == second_rows) break;
+      if (second.srcs[si] != mid) continue;
+      const uint32_t b = second.offsets[si];
+      const uint32_t n = second.offsets[si + 1] - b;
+      if (sparse_mode) {
+        ScatterRowTracked(dense, ws->mark.data(), &ws->touched,
+                          &second.dsts[b], &second.probs[b], n,
+                          first.probs[m]);
+      } else {
+        ScatterRowAvx2(dense, &second.dsts[b], &second.probs[b], n,
+                       first.probs[m]);
+      }
+    }
+    ws->row_entries.clear();
+    if (sparse_mode) {
+      DrainTouchedRow(ws, &ws->row_entries);
+    } else {
+      DrainScanRowAvx2(dense, second.dst_begin, second.dst_end,
+                       &ws->row_entries);
+    }
+    if (!ws->row_entries.empty()) {
+      out.AppendRowSorted(first.srcs[r], ws->row_entries);
+    }
+  }
+  return out;
+}
+
+bool DetectAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // CALDERA_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch, following the common/crc32c pattern: resolved once per
+// process, with an environment (CALDERA_FORCE_SCALAR_KERNELS=1) and test
+// (ForceScalar) override.
+// ---------------------------------------------------------------------------
+
+struct Dispatch {
+  Distribution (*propagate)(const CsrCpt&, const Distribution&,
+                            PropagationWorkspace*);
+  Cpt (*compose)(const CsrCpt&, const CsrCpt&, uint32_t,
+                 PropagationWorkspace*);
+  const char* name;
+};
+
+constexpr Dispatch kScalarDispatch = {&PropagateScalarImpl,
+                                      &ComposeScalarImpl, "scalar"};
+#ifdef CALDERA_KERNELS_X86
+constexpr Dispatch kSimdDispatch = {&PropagateSimdImpl, &ComposeSimdImpl,
+                                    "avx2+fma"};
+#endif
+
+bool SimdSupportedImpl() {
+#ifdef CALDERA_KERNELS_X86
+  static const bool supported = DetectAvx2Fma();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+const Dispatch* AutoDispatch() {
+#ifdef CALDERA_KERNELS_X86
+  if (SimdSupportedImpl()) {
+    const char* force = std::getenv("CALDERA_FORCE_SCALAR_KERNELS");
+    if (force == nullptr || force[0] == '\0' || force[0] == '0') {
+      return &kSimdDispatch;
+    }
+  }
+#endif
+  return &kScalarDispatch;
+}
+
+std::atomic<const Dispatch*> g_dispatch{nullptr};
+
+const Dispatch* Resolved() {
+  const Dispatch* d = g_dispatch.load(std::memory_order_acquire);
+  if (d == nullptr) {
+    d = AutoDispatch();
+    g_dispatch.store(d, std::memory_order_release);
+  }
+  return d;
+}
+
+}  // namespace
+
+Distribution Propagate(const Cpt& cpt, const Distribution& in,
+                       PropagationWorkspace* ws) {
+  return Resolved()->propagate(cpt.csr(), in, ws);
+}
+
+Cpt Compose(const Cpt& first, const Cpt& second, uint32_t domain_size,
+            PropagationWorkspace* ws) {
+  return Resolved()->compose(first.csr(), second.csr(), domain_size, ws);
+}
+
+const char* Backend() { return Resolved()->name; }
+
+bool SimdEnabled() { return Resolved() != &kScalarDispatch; }
+
+namespace internal {
+
+bool SimdSupported() { return SimdSupportedImpl(); }
+
+void ForceScalar(bool force) {
+  g_dispatch.store(force ? &kScalarDispatch : AutoDispatch(),
+                   std::memory_order_release);
+}
+
+Distribution PropagateScalar(const CsrCpt& cpt, const Distribution& in,
+                             PropagationWorkspace* ws) {
+  return PropagateScalarImpl(cpt, in, ws);
+}
+
+Cpt ComposeScalar(const CsrCpt& first, const CsrCpt& second,
+                  uint32_t domain_size, PropagationWorkspace* ws) {
+  return ComposeScalarImpl(first, second, domain_size, ws);
+}
+
+Distribution PropagateSimd(const CsrCpt& cpt, const Distribution& in,
+                           PropagationWorkspace* ws) {
+#ifdef CALDERA_KERNELS_X86
+  return PropagateSimdImpl(cpt, in, ws);
+#else
+  (void)cpt;
+  (void)in;
+  (void)ws;
+  return Distribution();
+#endif
+}
+
+Cpt ComposeSimd(const CsrCpt& first, const CsrCpt& second,
+                uint32_t domain_size, PropagationWorkspace* ws) {
+#ifdef CALDERA_KERNELS_X86
+  return ComposeSimdImpl(first, second, domain_size, ws);
+#else
+  (void)first;
+  (void)second;
+  (void)domain_size;
+  (void)ws;
+  return Cpt();
+#endif
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace caldera

@@ -1,10 +1,20 @@
 #include "reg/reg_operator.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
 namespace caldera {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 RegOperator::RegOperator(const RegularQuery& query,
                          const StreamSchema& schema)
@@ -12,38 +22,54 @@ RegOperator::RegOperator(const RegularQuery& query,
 
 void RegOperator::Reset() {
   mass_.clear();
+  propagated_.clear();
   initialized_ = false;
   last_prob_ = 0.0;
   num_updates_ = 0;
+  kernel_seconds_ = 0.0;
 }
 
 double RegOperator::ApplyAtoms(
-    std::vector<std::pair<int, Distribution>> propagated) {
+    std::vector<std::pair<int, Distribution>>& propagated) {
   // Route every (state, value) mass through the DFA transition for the
   // value's atom, then merge distributions landing in the same DFA state.
-  std::vector<std::pair<int, std::vector<Distribution::Entry>>> buckets;
-  auto bucket_for = [&buckets](int dfa) -> std::vector<Distribution::Entry>& {
-    for (auto& [id, entries] : buckets) {
-      if (id == dfa) return entries;
+  // Each bucket tracks whether its entries still form one strictly
+  // ascending run — true whenever a single source distribution feeds it,
+  // the common case — so the merge below can skip the sort entirely.
+  struct Bucket {
+    int dfa;
+    std::vector<Distribution::Entry> entries;
+    bool sorted = true;
+  };
+  std::vector<Bucket> buckets;
+  auto bucket_for = [&buckets](int dfa) -> Bucket& {
+    for (Bucket& b : buckets) {
+      if (b.dfa == dfa) return b;
     }
-    buckets.emplace_back(dfa, std::vector<Distribution::Entry>{});
-    return buckets.back().second;
+    buckets.push_back(Bucket{dfa, {}, true});
+    return buckets.back();
   };
 
   for (auto& [dfa, dist] : propagated) {
     for (const Distribution::Entry& e : dist.entries()) {
       if (e.prob == 0.0) continue;
       int next = automaton_.Transition(dfa, automaton_.AtomOf(e.value));
-      bucket_for(next).push_back(e);
+      Bucket& b = bucket_for(next);
+      if (!b.entries.empty() && b.entries.back().value >= e.value) {
+        b.sorted = false;
+      }
+      b.entries.push_back(e);
     }
   }
+  propagated.clear();
 
   mass_.clear();
   double accept = 0.0;
-  for (auto& [dfa, entries] : buckets) {
-    Distribution dist = Distribution::FromPairs(std::move(entries));
-    if (automaton_.IsAccepting(dfa)) accept += dist.Mass();
-    mass_.emplace_back(dfa, std::move(dist));
+  for (Bucket& b : buckets) {
+    Distribution dist = b.sorted ? Distribution::FromSorted(std::move(b.entries))
+                                 : Distribution::FromPairs(std::move(b.entries));
+    if (automaton_.IsAccepting(b.dfa)) accept += dist.Mass();
+    mass_.emplace_back(b.dfa, std::move(dist));
   }
   std::sort(mass_.begin(), mass_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -75,21 +101,24 @@ double RegOperator::Initialize(const Distribution& marginal) {
   CALDERA_CHECK(!initialized_) << "Reg operator already initialized";
   initialized_ = true;
   ++num_updates_;
-  std::vector<std::pair<int, Distribution>> seed;
-  seed.emplace_back(automaton_.start_state(), marginal);
-  last_prob_ = ApplyAtoms(std::move(seed));
+  propagated_.clear();
+  propagated_.emplace_back(automaton_.start_state(), marginal);
+  last_prob_ = ApplyAtoms(propagated_);
   return last_prob_;
 }
 
 double RegOperator::Update(const Cpt& transition) {
   CALDERA_CHECK(initialized_) << "Reg operator not initialized";
   ++num_updates_;
-  std::vector<std::pair<int, Distribution>> propagated;
-  propagated.reserve(mass_.size());
+  propagated_.clear();
+  propagated_.reserve(mass_.size());
+  const auto start = Clock::now();
   for (auto& [dfa, dist] : mass_) {
-    propagated.emplace_back(dfa, transition.Propagate(dist));
+    propagated_.emplace_back(dfa,
+                             kernels::Propagate(transition, dist, &workspace_));
   }
-  last_prob_ = ApplyAtoms(std::move(propagated));
+  kernel_seconds_ += SecondsSince(start);
+  last_prob_ = ApplyAtoms(propagated_);
   return last_prob_;
 }
 
@@ -101,12 +130,14 @@ double RegOperator::UpdateSpanning(const Cpt& span, uint64_t gap) {
   // null transition is idempotent and commutes with value propagation, so
   // a single collapse is exact.
   if (gap >= 2) CollapseNull();
-  std::vector<std::pair<int, Distribution>> propagated;
-  propagated.reserve(mass_.size());
+  propagated_.clear();
+  propagated_.reserve(mass_.size());
+  const auto start = Clock::now();
   for (auto& [dfa, dist] : mass_) {
-    propagated.emplace_back(dfa, span.Propagate(dist));
+    propagated_.emplace_back(dfa, kernels::Propagate(span, dist, &workspace_));
   }
-  last_prob_ = ApplyAtoms(std::move(propagated));
+  kernel_seconds_ += SecondsSince(start);
+  last_prob_ = ApplyAtoms(propagated_);
   return last_prob_;
 }
 
@@ -114,19 +145,21 @@ double RegOperator::UpdateIndependent(const Distribution& marginal) {
   CALDERA_CHECK(initialized_) << "Reg operator not initialized";
   ++num_updates_;
   CollapseNull();
-  std::vector<std::pair<int, Distribution>> propagated;
-  propagated.reserve(mass_.size());
+  propagated_.clear();
+  propagated_.reserve(mass_.size());
   for (auto& [dfa, dist] : mass_) {
     double scale = dist.Mass();
     if (scale == 0.0) continue;
+    // Scaling preserves the marginal's sorted order, so build directly.
     std::vector<Distribution::Entry> entries;
     entries.reserve(marginal.support_size());
     for (const Distribution::Entry& e : marginal.entries()) {
       entries.push_back({e.value, e.prob * scale});
     }
-    propagated.emplace_back(dfa, Distribution::FromPairs(std::move(entries)));
+    propagated_.emplace_back(dfa,
+                             Distribution::FromSorted(std::move(entries)));
   }
-  last_prob_ = ApplyAtoms(std::move(propagated));
+  last_prob_ = ApplyAtoms(propagated_);
   return last_prob_;
 }
 

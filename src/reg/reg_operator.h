@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "markov/cpt.h"
 #include "markov/distribution.h"
+#include "markov/kernels.h"
 #include "markov/schema.h"
 #include "markov/stream.h"
 #include "query/nfa.h"
@@ -67,13 +68,18 @@ class RegOperator {
   /// dominate the speedups).
   uint64_t num_updates() const { return num_updates_; }
 
+  /// Wall-clock seconds spent inside the CPT propagation kernels (the
+  /// per-state propagate loops of Update/UpdateSpanning) since
+  /// construction/Reset.
+  double kernel_seconds() const { return kernel_seconds_; }
+
   QueryAutomaton* automaton() { return &automaton_; }
 
  private:
   /// Applies the DFA transition on each value's atom to the per-state
-  /// distributions in `propagated`, accumulating into mass_; returns the
-  /// accepting-state mass.
-  double ApplyAtoms(std::vector<std::pair<int, Distribution>> propagated);
+  /// distributions in `propagated` (consumed and cleared), accumulating
+  /// into mass_; returns the accepting-state mass.
+  double ApplyAtoms(std::vector<std::pair<int, Distribution>>& propagated);
 
   /// Merges states of `mass_` through the null-atom transition.
   void CollapseNull();
@@ -81,9 +87,17 @@ class RegOperator {
   QueryAutomaton automaton_;
   // Live DFA states and their value distributions, sorted by DFA id.
   std::vector<std::pair<int, Distribution>> mass_;
+  // Dense-scratch workspace shared by every propagation this operator
+  // performs; sized once per domain, so steady-state updates allocate only
+  // the output distributions.
+  kernels::PropagationWorkspace workspace_;
+  // Staging buffer for propagated (DFA state, distribution) pairs, reused
+  // across timesteps.
+  std::vector<std::pair<int, Distribution>> propagated_;
   bool initialized_ = false;
   double last_prob_ = 0.0;
   uint64_t num_updates_ = 0;
+  double kernel_seconds_ = 0.0;
 };
 
 /// Convenience: runs a full scan of an in-memory stream and returns the

@@ -1,0 +1,354 @@
+#include "markov/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "markov/cpt.h"
+#include "markov/distribution.h"
+
+namespace caldera {
+namespace {
+
+using kernels::CsrCpt;
+using kernels::PropagationWorkspace;
+
+// ---------------------------------------------------------------------------
+// Generators (seeded: every failure is reproducible from the test body).
+
+Cpt RandomCpt(uint32_t domain, double row_density, double entry_density,
+              Rng* rng) {
+  Cpt cpt;
+  for (uint32_t src = 0; src < domain; ++src) {
+    if (!rng->NextBool(row_density)) continue;
+    std::vector<Cpt::RowEntry> entries;
+    for (uint32_t dst = 0; dst < domain; ++dst) {
+      if (rng->NextBool(entry_density)) {
+        entries.push_back({dst, rng->NextDouble() + 1e-6});
+      }
+    }
+    if (entries.empty()) {
+      entries.push_back({static_cast<ValueId>(rng->NextBelow(domain)), 1.0});
+    }
+    double mass = 0;
+    for (const auto& e : entries) mass += e.prob;
+    for (auto& e : entries) e.prob /= mass;
+    cpt.SetRow(src, std::move(entries));
+  }
+  return cpt;
+}
+
+Distribution RandomDistribution(uint32_t domain, double density, Rng* rng) {
+  std::vector<Distribution::Entry> entries;
+  for (uint32_t v = 0; v < domain; ++v) {
+    if (rng->NextBool(density)) entries.push_back({v, rng->NextDouble()});
+  }
+  if (entries.empty()) {
+    entries.push_back({static_cast<ValueId>(rng->NextBelow(domain)), 1.0});
+  }
+  Distribution d = Distribution::FromPairs(std::move(entries));
+  d.Normalize();
+  return d;
+}
+
+// Union-of-support comparison: every value present in either distribution
+// must agree within tol (absent = 0).
+void ExpectDistsNear(const Distribution& a, const Distribution& b, double tol,
+                     const std::string& context) {
+  auto ia = a.entries().begin();
+  auto ib = b.entries().begin();
+  while (ia != a.entries().end() || ib != b.entries().end()) {
+    ValueId va = ia != a.entries().end() ? ia->value : UINT32_MAX;
+    ValueId vb = ib != b.entries().end() ? ib->value : UINT32_MAX;
+    if (va < vb) {
+      EXPECT_NEAR(ia->prob, 0.0, tol) << context << " value " << va;
+      ++ia;
+    } else if (vb < va) {
+      EXPECT_NEAR(ib->prob, 0.0, tol) << context << " value " << vb;
+      ++ib;
+    } else {
+      EXPECT_NEAR(ia->prob, ib->prob, tol) << context << " value " << va;
+      ++ia;
+      ++ib;
+    }
+  }
+}
+
+void ExpectCptsNear(const Cpt& a, const Cpt& b, uint32_t domain, double tol,
+                    const std::string& context) {
+  for (uint32_t src = 0; src < domain; ++src) {
+    for (uint32_t dst = 0; dst < domain; ++dst) {
+      double pa = a.Probability(src, dst);
+      double pb = b.Probability(src, dst);
+      ASSERT_NEAR(pa, pb, tol)
+          << context << " P(" << dst << "|" << src << ")";
+    }
+  }
+}
+
+// O(d^3) brute-force chain-rule reference, independent of every kernel and
+// of ComposeCpts itself.
+Cpt BruteForceCompose(const Cpt& first, const Cpt& second, uint32_t domain) {
+  Cpt out;
+  for (const Cpt::Row& row : first.rows()) {
+    std::vector<Cpt::RowEntry> entries;
+    for (uint32_t z = 0; z < domain; ++z) {
+      double p = 0;
+      for (const Cpt::RowEntry& e : row.entries) {
+        p += e.prob * second.Probability(e.dst, z);
+      }
+      if (p != 0.0) entries.push_back({z, p});
+    }
+    if (!entries.empty()) out.SetRow(row.src, std::move(entries));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CSR view.
+
+TEST(CsrCptTest, FlattensRowsInOrder) {
+  Cpt cpt;
+  cpt.SetRow(2, {{1, 0.5}, {4, 0.5}});
+  cpt.SetRow(7, {{0, 1.0}});
+  CsrCpt csr = CsrCpt::From(cpt);
+  ASSERT_EQ(csr.num_rows(), 2u);
+  EXPECT_EQ(csr.srcs, (std::vector<ValueId>{2, 7}));
+  EXPECT_EQ(csr.offsets, (std::vector<uint32_t>{0, 2, 3}));
+  EXPECT_EQ(csr.dsts, (std::vector<ValueId>{1, 4, 0}));
+  EXPECT_EQ(csr.probs, (std::vector<double>{0.5, 0.5, 1.0}));
+  EXPECT_EQ(csr.dst_begin, 0u);
+  EXPECT_EQ(csr.dst_end, 5u);
+  EXPECT_EQ(csr.nnz(), 3u);
+}
+
+TEST(CsrCptTest, EmptyCpt) {
+  CsrCpt csr = CsrCpt::From(Cpt{});
+  EXPECT_TRUE(csr.empty());
+  EXPECT_EQ(csr.offsets, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(csr.dst_end, 0u);
+}
+
+TEST(CsrCptTest, CachedViewIsStableUntilMutation) {
+  Cpt cpt;
+  cpt.SetRow(0, {{0, 1.0}});
+  const CsrCpt* first = &cpt.csr();
+  EXPECT_EQ(first, &cpt.csr()) << "csr() must cache";
+  cpt.SetRow(1, {{1, 1.0}});
+  const CsrCpt& rebuilt = cpt.csr();
+  EXPECT_EQ(rebuilt.num_rows(), 2u) << "mutation must invalidate the cache";
+}
+
+TEST(CsrCptTest, CopyAndEqualityIgnoreCache) {
+  Cpt a;
+  a.SetRow(0, {{0, 0.5}, {1, 0.5}});
+  a.csr();  // Populate the cache on one side only.
+  Cpt b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.csr().nnz(), 2u);
+  b.SetRow(1, {{0, 1.0}});
+  EXPECT_FALSE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: legacy AoS vs scalar CSR vs SIMD CSR.
+
+struct Shape {
+  uint32_t domain;
+  double row_density;
+  double entry_density;
+  double dist_density;
+};
+
+const Shape kShapes[] = {
+    {1, 1.0, 1.0, 1.0},      {3, 0.8, 0.6, 0.7},
+    {32, 0.9, 0.10, 0.3},    {32, 0.5, 0.9, 0.9},
+    {352, 0.9, 0.01, 0.05},  {352, 0.7, 0.10, 0.5},
+    {1024, 0.3, 0.01, 0.02}, {1024, 0.9, 0.05, 0.9},
+};
+
+TEST(KernelDifferentialTest, PropagateMatchesLegacyAcrossShapes) {
+  PropagationWorkspace ws;
+  Rng rng(0xC0FFEE);
+  for (const Shape& s : kShapes) {
+    for (int round = 0; round < 6; ++round) {
+      Cpt cpt = RandomCpt(s.domain, s.row_density, s.entry_density, &rng);
+      Distribution in = RandomDistribution(s.domain, s.dist_density, &rng);
+      Distribution legacy = cpt.Propagate(in);
+      const CsrCpt& csr = cpt.csr();
+      Distribution scalar = kernels::internal::PropagateScalar(csr, in, &ws);
+      std::string ctx = "domain=" + std::to_string(s.domain) +
+                        " round=" + std::to_string(round);
+      ExpectDistsNear(legacy, scalar, 1e-12, "scalar " + ctx);
+      if (kernels::internal::SimdSupported()) {
+        Distribution simd = kernels::internal::PropagateSimd(csr, in, &ws);
+        ExpectDistsNear(scalar, simd, 1e-12, "simd " + ctx);
+      }
+      Distribution dispatched = kernels::Propagate(cpt, in, &ws);
+      ExpectDistsNear(legacy, dispatched, 1e-12, "dispatched " + ctx);
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, PropagateAdversarialCases) {
+  PropagationWorkspace ws;
+
+  // Empty CPT: everything propagates to the empty distribution.
+  Cpt empty;
+  Distribution in = Distribution::FromPairs({{0, 0.5}, {9, 0.5}});
+  EXPECT_TRUE(kernels::Propagate(empty, in, &ws).empty());
+
+  // Input entirely outside the CPT's rows.
+  Cpt cpt;
+  cpt.SetRow(5, {{1, 1.0}});
+  EXPECT_TRUE(kernels::Propagate(cpt, in, &ws).empty());
+
+  // Empty input.
+  EXPECT_TRUE(kernels::Propagate(cpt, Distribution{}, &ws).empty());
+
+  // Missing interior rows + boundary destinations + denormal-tiny probs.
+  Cpt gappy;
+  gappy.SetRow(0, {{0, 1e-300}, {999, 1.0 - 1e-300}});
+  gappy.SetRow(999, {{0, 1.0}});
+  Distribution wide = Distribution::FromPairs({{0, 0.25}, {500, 0.5},
+                                               {999, 0.25}});
+  Distribution legacy = gappy.Propagate(wide);
+  Distribution fast = kernels::Propagate(gappy, wide, &ws);
+  ExpectDistsNear(legacy, fast, 1e-12, "gappy");
+  if (kernels::internal::SimdSupported()) {
+    Distribution simd = kernels::internal::PropagateSimd(gappy.csr(), wide, &ws);
+    ExpectDistsNear(legacy, simd, 1e-12, "gappy simd");
+  }
+}
+
+TEST(KernelDifferentialTest, ComposeMatchesBruteForceSmallDomains) {
+  PropagationWorkspace ws;
+  Rng rng(0xBEEF);
+  for (uint32_t domain : {1u, 3u, 8u, 24u}) {
+    for (int round = 0; round < 8; ++round) {
+      Cpt first = RandomCpt(domain, 0.8, 0.5, &rng);
+      Cpt second = RandomCpt(domain, 0.8, 0.5, &rng);
+      Cpt expected = BruteForceCompose(first, second, domain);
+      std::string ctx = "domain=" + std::to_string(domain) +
+                        " round=" + std::to_string(round);
+      Cpt scalar = kernels::internal::ComposeScalar(first.csr(), second.csr(),
+                                                    domain, &ws);
+      ExpectCptsNear(expected, scalar, domain, 1e-12, "scalar " + ctx);
+      if (kernels::internal::SimdSupported()) {
+        Cpt simd = kernels::internal::ComposeSimd(first.csr(), second.csr(),
+                                                  domain, &ws);
+        ExpectCptsNear(scalar, simd, domain, 1e-12, "simd " + ctx);
+      }
+      Cpt dispatched = ComposeCpts(first, second, domain);
+      ExpectCptsNear(expected, dispatched, domain, 1e-12, "dispatched " + ctx);
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, ComposeScalarSimdParityLargeDomains) {
+  if (!kernels::internal::SimdSupported()) {
+    GTEST_SKIP() << "no SIMD backend on this CPU/build";
+  }
+  PropagationWorkspace ws;
+  Rng rng(0xFACADE);
+  for (uint32_t domain : {352u, 1024u}) {
+    for (double density : {0.01, 0.10}) {
+      Cpt first = RandomCpt(domain, 0.6, density, &rng);
+      Cpt second = RandomCpt(domain, 0.6, density, &rng);
+      Cpt scalar = kernels::internal::ComposeScalar(first.csr(), second.csr(),
+                                                    domain, &ws);
+      Cpt simd = kernels::internal::ComposeSimd(first.csr(), second.csr(),
+                                                domain, &ws);
+      // Exact same support and per-entry agreement.
+      ASSERT_EQ(scalar.rows().size(), simd.rows().size());
+      for (size_t r = 0; r < scalar.rows().size(); ++r) {
+        const Cpt::Row& rs = scalar.rows()[r];
+        const Cpt::Row& rv = simd.rows()[r];
+        ASSERT_EQ(rs.src, rv.src);
+        ASSERT_EQ(rs.entries.size(), rv.entries.size());
+        for (size_t i = 0; i < rs.entries.size(); ++i) {
+          ASSERT_EQ(rs.entries[i].dst, rv.entries[i].dst);
+          ASSERT_NEAR(rs.entries[i].prob, rv.entries[i].prob, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+// The workspace's all-zero invariant: interleaving wildly different shapes
+// through one workspace never changes any result.
+TEST(KernelDifferentialTest, WorkspaceReuseIsStateless) {
+  Rng rng(42);
+  std::vector<Cpt> cpts;
+  std::vector<Distribution> dists;
+  for (const Shape& s : kShapes) {
+    cpts.push_back(RandomCpt(s.domain, s.row_density, s.entry_density, &rng));
+    dists.push_back(RandomDistribution(s.domain, s.dist_density, &rng));
+  }
+  PropagationWorkspace shared;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < cpts.size(); ++i) {
+      PropagationWorkspace fresh;
+      Distribution a = kernels::Propagate(cpts[i], dists[i], &shared);
+      Distribution b = kernels::Propagate(cpts[i], dists[i], &fresh);
+      EXPECT_EQ(a.entries().size(), b.entries().size());
+      ExpectDistsNear(a, b, 0.0, "shared-vs-fresh " + std::to_string(i));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+
+TEST(KernelDispatchTest, BackendReportsLivePath) {
+  const std::string backend = kernels::Backend();
+  EXPECT_TRUE(backend == "avx2+fma" || backend == "scalar") << backend;
+  EXPECT_EQ(kernels::SimdEnabled(), backend != "scalar");
+  const char* env = std::getenv("CALDERA_FORCE_SCALAR_KERNELS");
+  if (env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+    EXPECT_EQ(backend, "scalar")
+        << "CALDERA_FORCE_SCALAR_KERNELS must force the scalar path";
+  }
+}
+
+TEST(KernelDispatchTest, ForceScalarOverridesDispatch) {
+  kernels::internal::ForceScalar(true);
+  EXPECT_STREQ(kernels::Backend(), "scalar");
+  EXPECT_FALSE(kernels::SimdEnabled());
+  PropagationWorkspace ws;
+  Cpt cpt;
+  cpt.SetRow(0, {{0, 0.25}, {1, 0.75}});
+  Distribution out = kernels::Propagate(cpt, Distribution::Point(0), &ws);
+  EXPECT_NEAR(out.ProbabilityOf(1), 0.75, 1e-15);
+  kernels::internal::ForceScalar(false);
+  if (kernels::internal::SimdSupported() &&
+      std::getenv("CALDERA_FORCE_SCALAR_KERNELS") == nullptr) {
+    EXPECT_STREQ(kernels::Backend(), "avx2+fma");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// New Distribution builders.
+
+TEST(DistributionBuilderTest, FromSortedMovesEntries) {
+  Distribution d = Distribution::FromSorted({{1, 0.25}, {5, 0.75}});
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_NEAR(d.ProbabilityOf(5), 0.75, 0.0);
+}
+
+TEST(DistributionBuilderTest, FromDenseScratchDrainsAndZeroes) {
+  std::vector<double> dense(10, 0.0);
+  dense[2] = 0.5;
+  dense[7] = 0.5;
+  Distribution d = Distribution::FromDenseScratch(dense, 0, 10);
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_NEAR(d.ProbabilityOf(2), 0.5, 0.0);
+  for (double v : dense) EXPECT_EQ(v, 0.0) << "scratch must be re-zeroed";
+}
+
+}  // namespace
+}  // namespace caldera
