@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "caldera/btree_method.h"
 #include "caldera/mc_method.h"
+#include "caldera/planner.h"
 #include "caldera/scan_method.h"
 #include "caldera/semi_independent_method.h"
 #include "caldera/topk_method.h"
@@ -89,6 +90,20 @@ int main() {
       relevant[i] = static_cast<uint64_t>(
           MeasuredDensity(workload->stream, *fixed) *
           workload->stream.length());
+
+      // EXPLAIN: what the planner would pick for each query shape.
+      auto fixed_plan = PlanQuery(archived.get(), *fixed,
+                                  /*want_topk=*/false,
+                                  /*approximation_ok=*/false);
+      CALDERA_CHECK_OK(fixed_plan.status());
+      auto variable_plan = PlanQuery(archived.get(), *variable,
+                                     /*want_topk=*/false,
+                                     /*approximation_ok=*/false);
+      CALDERA_CHECK_OK(variable_plan.status());
+      std::printf("EXPLAIN %zu-link fixed:    %s\n", links,
+                  fixed_plan->Explain().c_str());
+      std::printf("EXPLAIN %zu-link variable: %s\n", links,
+                  variable_plan->Explain().c_str());
 
       auto scan_result = RunScanMethod(archived.get(), *fixed);
       CALDERA_CHECK_OK(scan_result.status());

@@ -51,6 +51,10 @@ struct ExecStats {
   BufferPoolStats index_io;        ///< Page traffic on index files.
   double kernel_seconds = 0.0;     ///< Wall seconds in propagate/compose kernels.
   double elapsed_seconds = 0.0;    ///< Wall-clock execution time.
+  /// EXPLAIN line for this execution: chosen method, producer cursor, gap
+  /// policy, prefetch setting, and (through the facade) the planner's
+  /// density estimate and decision reason.
+  std::string plan_summary;
 
   /// Field-wise accumulation, used to roll up per-stream stats into batch
   /// totals (elapsed_seconds sums too: it is aggregate work, not makespan).
@@ -69,6 +73,8 @@ struct ExecStats {
     index_io += o.index_io;
     kernel_seconds += o.kernel_seconds;
     elapsed_seconds += o.elapsed_seconds;
+    // Aggregates keep the first summary seen (batch roll-ups span methods).
+    if (plan_summary.empty()) plan_summary = o.plan_summary;
     return *this;
   }
 };
@@ -78,6 +84,10 @@ struct QueryResult {
   AccessMethodKind method = AccessMethodKind::kAuto;
   QuerySignal signal;
   ExecStats stats;
+  /// Why this method ran: the planner's decision reason for kAuto,
+  /// "explicitly requested" otherwise. Set by the Caldera facade; empty
+  /// when a method runner is called directly.
+  std::string plan_reason;
 };
 
 /// Returns the entries of `signal` with prob > threshold, useful for event

@@ -1,113 +1,16 @@
 #include "caldera/btree_method.h"
 
-#include <chrono>
-
-#include "caldera/intersection.h"
-#include "reg/reg_operator.h"
+#include "caldera/executor.h"
 
 namespace caldera {
 
-namespace {
-
-// Streams the merged interval [first, last] through `reg` (freshly
-// initialized), appending one signal entry per timestep.
-Status ProcessInterval(StoredStream* stream, RegOperator* reg,
-                       uint64_t first, uint64_t last, QuerySignal* signal) {
-  Distribution marginal;
-  CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(first, &marginal));
-  signal->push_back({first, reg->Initialize(marginal)});
-  Cpt transition;
-  for (uint64_t t = first + 1; t <= last; ++t) {
-    CALDERA_RETURN_IF_ERROR(stream->ReadTransition(t, &transition));
-    signal->push_back({t, reg->Update(transition)});
-  }
-  return Status::Ok();
-}
-
-}  // namespace
-
+// Algorithm 2 is a plan, not a loop: the BT_C merge-join cursor under the
+// restart gap policy (no match can span the space between merged
+// intervals). The shared executor owns the Reg loop and all stats
+// accounting.
 Result<QueryResult> RunBTreeMethod(ArchivedStream* archived,
                                    const RegularQuery& query) {
-  CALDERA_RETURN_IF_ERROR(query.ValidateAgainst(archived->schema()));
-  if (!query.fixed_length()) {
-    return Status::FailedPrecondition(
-        "the B+Tree access method handles fixed-length queries only; use "
-        "the MC-index or semi-independent method");
-  }
-  StoredStream* stream = archived->stream();
-  const uint64_t n = query.num_links();
-  if (stream->length() < n) {
-    QueryResult empty;
-    empty.method = AccessMethodKind::kBTree;
-    return empty;
-  }
-
-  auto start_clock = std::chrono::steady_clock::now();
-  archived->ResetStats();
-
-  // One cursor per link whose primary predicate is indexable; unindexed
-  // links relax the intersection (Section 3.1).
-  std::vector<PredicateCursor> cursors;
-  std::vector<uint64_t> offsets;
-  for (size_t i = 0; i < query.num_links(); ++i) {
-    const Predicate& primary = query.link(i).primary;
-    if (!primary.indexable()) continue;
-    CALDERA_ASSIGN_OR_RETURN(PredicateCursor cursor,
-                             MakePredicateCursor(archived, primary));
-    cursors.push_back(std::move(cursor));
-    offsets.push_back(i);
-  }
-  if (cursors.empty()) {
-    return Status::FailedPrecondition(
-        "no link of query '" + query.name() +
-        "' is indexable; use the naive scan");
-  }
-
-  QueryResult result;
-  result.method = AccessMethodKind::kBTree;
-  RegOperator reg(query, archived->schema());
-  IntervalIntersector intersector(std::move(cursors), std::move(offsets));
-  IntervalMerger merger(n);
-  uint64_t reg_updates = 0;
-  double kernel_seconds = 0.0;
-
-  auto run_interval = [&](IntervalMerger::Interval iv) -> Status {
-    // Clamp to the stream (an intersection near the end may imply an
-    // interval past the last timestep when some links are unindexed).
-    if (iv.first >= stream->length()) return Status::Ok();
-    iv.last = std::min<uint64_t>(iv.last, stream->length() - 1);
-    reg.Reset();
-    CALDERA_RETURN_IF_ERROR(
-        ProcessInterval(stream, &reg, iv.first, iv.last, &result.signal));
-    reg_updates += reg.num_updates();
-    kernel_seconds += reg.kernel_seconds();
-    ++result.stats.intervals;
-    return Status::Ok();
-  };
-
-  for (;;) {
-    CALDERA_ASSIGN_OR_RETURN(std::optional<uint64_t> start,
-                             intersector.Next());
-    if (!start.has_value()) break;
-    if (*start + n > stream->length()) break;  // No room for a full match.
-    ++result.stats.relevant_timesteps;
-    if (std::optional<IntervalMerger::Interval> done = merger.Add(*start)) {
-      CALDERA_RETURN_IF_ERROR(run_interval(*done));
-    }
-  }
-  if (std::optional<IntervalMerger::Interval> done = merger.Flush()) {
-    CALDERA_RETURN_IF_ERROR(run_interval(*done));
-  }
-
-  result.stats.reg_updates = reg_updates;
-  result.stats.kernel_seconds = kernel_seconds;
-  result.stats.stream_io = stream->IoStats();
-  result.stats.index_io = archived->IndexIoStats();
-  result.stats.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start_clock)
-          .count();
-  return result;
+  return RunPipeline(archived, query, AccessMethodKind::kBTree);
 }
 
 }  // namespace caldera

@@ -1,0 +1,78 @@
+#ifndef CALDERA_CALDERA_EXECUTOR_H_
+#define CALDERA_CALDERA_EXECUTOR_H_
+
+#include <functional>
+
+#include "caldera/access_method.h"
+#include "caldera/archive.h"
+#include "caldera/cursor.h"
+#include "caldera/system.h"
+#include "query/regular_query.h"
+
+namespace caldera {
+
+/// Knobs of the shared two-stage execution pipeline.
+struct PipelineOptions {
+  /// For the top-k method: number of matches to keep (>= 1), or
+  /// ThresholdCursor::kUnbounded with a threshold.
+  size_t k = 0;
+  /// For the top-k method in threshold mode: keep matches above this.
+  double threshold = 0.0;
+  /// Semi-independent only: consult the shared span-CPT cache on gap steps
+  /// (see ExecOptions::use_cached_spans).
+  bool use_cached_spans = false;
+  /// Double-buffered prefetch: while Reg processes the current batch of
+  /// decoded snippets, a background stage decodes the next `prefetch_batch`
+  /// cursor items (index probes + record reads + CPT decode). 0 = off
+  /// (fully synchronous). The emitted signal and all counters other than
+  /// wall-clock time are identical for every value: batching never reorders
+  /// the Reg update sequence, and cursors that consume result feedback
+  /// (top-k) opt out of prefetching entirely.
+  size_t prefetch_batch = 0;
+};
+
+/// Builds a CursorPlan for a (stream, query) pair. Deferred so the
+/// executor can reset IO counters before the factory probes any index —
+/// cursor creation cost is part of the measured execution.
+using PlanFactory =
+    std::function<Result<CursorPlan>(ArchivedStream*, const RegularQuery&)>;
+
+/// The consumer half of the pipeline, shared by all five access methods:
+/// validates the query, builds the plan, runs its cursor through the Reg
+/// operator (applying the plan's gap policy on every jump), and owns all
+/// ExecStats accounting. `label` is reported as QueryResult::method. A
+/// factory may return a plan with a null cursor: an a-priori-empty query
+/// (e.g. a stream shorter than the match interval), answered with an empty
+/// signal and zero cost.
+Result<QueryResult> RunCursorPipeline(ArchivedStream* archived,
+                                      const RegularQuery& query,
+                                      const PlanFactory& factory,
+                                      AccessMethodKind label,
+                                      const PipelineOptions& options = {});
+
+/// Builds the standard plan for `method` (Figure 5(b)'s five algorithms)
+/// and runs it through the pipeline.
+Result<QueryResult> RunPipeline(ArchivedStream* archived,
+                                const RegularQuery& query,
+                                AccessMethodKind method,
+                                const PipelineOptions& options = {});
+
+/// Facade-level execution on an open handle: maps ExecOptions to pipeline
+/// options, applies threshold/top-k post-filters, and performs the
+/// mid-query rescue — when a non-scan method fails with a rescuable status
+/// and options.fallback_to_scan is set, the query reruns through the
+/// always-available full-scan plan (stats.scan_fallbacks = 1, plus a
+/// corruption_events tick when the failure was a Corruption).
+Result<QueryResult> ExecutePipelineMethod(ArchivedStream* archived,
+                                          const RegularQuery& query,
+                                          AccessMethodKind method,
+                                          const ExecOptions& options);
+
+/// Errors the scan rescue can fix: damaged or missing index artifacts.
+/// NotFound (no such stream) and InvalidArgument (bad query) are not
+/// rescuable — the scan would fail identically.
+bool ScanFallbackApplies(const Status& st);
+
+}  // namespace caldera
+
+#endif  // CALDERA_CALDERA_EXECUTOR_H_

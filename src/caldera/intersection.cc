@@ -1,6 +1,6 @@
 #include "caldera/intersection.h"
 
-#include <algorithm>
+#include <string>
 
 namespace caldera {
 
@@ -19,89 +19,6 @@ Result<PredicateCursor> MakePredicateCursor(ArchivedStream* archived,
   }
   return PredicateCursor::Create(
       tree, base->MatchedAttributeValues(archived->schema()));
-}
-
-Result<std::optional<uint64_t>> IntervalIntersector::Next() {
-  const size_t n = cursors_.size();
-  if (n == 0) return std::optional<uint64_t>();
-  for (;;) {
-    // Re-seek every cursor to the current lower bound and compute the
-    // implied start of each cursor's current entry.
-    uint64_t max_start = next_start_min_;
-    for (size_t i = 0; i < n; ++i) {
-      CALDERA_RETURN_IF_ERROR(
-          cursors_[i].SeekTime(next_start_min_ + offsets_[i]));
-      if (!cursors_[i].valid()) return std::optional<uint64_t>();
-      // cursors_[i].time() >= next_start_min_ + offsets_[i], so this cannot
-      // underflow.
-      uint64_t implied_start = cursors_[i].time() - offsets_[i];
-      max_start = std::max(max_start, implied_start);
-    }
-    // Check whether every cursor has an entry exactly at max_start+offset.
-    bool aligned = true;
-    for (size_t i = 0; i < n; ++i) {
-      CALDERA_RETURN_IF_ERROR(cursors_[i].SeekTime(max_start + offsets_[i]));
-      if (!cursors_[i].valid()) return std::optional<uint64_t>();
-      if (cursors_[i].time() != max_start + offsets_[i]) {
-        // This cursor jumped past; restart from its implied start.
-        next_start_min_ = cursors_[i].time() - offsets_[i];
-        aligned = false;
-        break;
-      }
-    }
-    if (aligned) {
-      next_start_min_ = max_start + 1;
-      return std::optional<uint64_t>(max_start);
-    }
-  }
-}
-
-std::optional<IntervalMerger::Interval> IntervalMerger::Add(uint64_t start) {
-  uint64_t last = start + interval_length_ - 1;
-  if (!has_pending_) {
-    pending_ = {start, last};
-    has_pending_ = true;
-    return std::nullopt;
-  }
-  if (start <= pending_.last + 1) {
-    pending_.last = std::max(pending_.last, last);
-    return std::nullopt;
-  }
-  Interval done = pending_;
-  pending_ = {start, last};
-  return done;
-}
-
-std::optional<IntervalMerger::Interval> IntervalMerger::Flush() {
-  if (!has_pending_) return std::nullopt;
-  has_pending_ = false;
-  return pending_;
-}
-
-UnionCursor::UnionCursor(std::vector<PredicateCursor> cursors)
-    : cursors_(std::move(cursors)) {
-  RecomputeMin();
-}
-
-void UnionCursor::RecomputeMin() {
-  min_time_ = UINT64_MAX;
-  for (const PredicateCursor& c : cursors_) {
-    if (c.valid()) min_time_ = std::min(min_time_, c.time());
-  }
-}
-
-bool UnionCursor::valid() const { return min_time_ != UINT64_MAX; }
-
-uint64_t UnionCursor::time() const { return min_time_; }
-
-Status UnionCursor::Next() {
-  for (PredicateCursor& c : cursors_) {
-    if (c.valid() && c.time() == min_time_) {
-      CALDERA_RETURN_IF_ERROR(c.Next());
-    }
-  }
-  RecomputeMin();
-  return Status::Ok();
 }
 
 }  // namespace caldera

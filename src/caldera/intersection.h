@@ -1,13 +1,12 @@
 #ifndef CALDERA_CALDERA_INTERSECTION_H_
 #define CALDERA_CALDERA_INTERSECTION_H_
 
-#include <cstdint>
-#include <optional>
-#include <vector>
-
 #include "caldera/archive.h"
 #include "common/status.h"
 #include "index/btc_index.h"
+// IntervalIntersector, IntervalMerger, and UnionCursor moved to the index
+// layer with the cursor pipeline; re-exported here for existing includers.
+#include "index/timestep_cursor.h"
 #include "query/regular_query.h"
 
 namespace caldera {
@@ -17,74 +16,6 @@ namespace caldera {
 /// predicate's attribute. FailedPrecondition when that index is missing.
 Result<PredicateCursor> MakePredicateCursor(ArchivedStream* archived,
                                             const Predicate& pred);
-
-/// The temporally-aware index join of Section 3.1: given cursors with link
-/// offsets (cursor j covers the predicate of link offset_j), enumerates, in
-/// increasing order, the interval start times s such that cursor j holds an
-/// entry at time s + offset_j for every j. Links without an indexable
-/// predicate simply contribute no cursor (the paper's "relaxed"
-/// intersection).
-///
-/// This is a merge-join-style walk: each round computes the maximal
-/// candidate start implied by the current cursor positions and re-seeks all
-/// cursors to it; cost is linear in the index entries touched.
-class IntervalIntersector {
- public:
-  IntervalIntersector(std::vector<PredicateCursor> cursors,
-                      std::vector<uint64_t> offsets)
-      : cursors_(std::move(cursors)), offsets_(std::move(offsets)) {}
-
-  /// Returns the next intersection start time, or nullopt when exhausted.
-  Result<std::optional<uint64_t>> Next();
-
- private:
-  std::vector<PredicateCursor> cursors_;
-  std::vector<uint64_t> offsets_;
-  uint64_t next_start_min_ = 0;
-};
-
-/// Merges a sorted sequence of candidate starts (for an n-link query) into
-/// maximal processing intervals [first, last]: candidates whose intervals
-/// overlap or abut are combined so the Reg operator processes each timestep
-/// at most once (Section 3.1's overlapping-interval optimization).
-class IntervalMerger {
- public:
-  explicit IntervalMerger(uint64_t interval_length)
-      : interval_length_(interval_length) {}
-
-  struct Interval {
-    uint64_t first;
-    uint64_t last;  // Inclusive.
-  };
-
-  /// Feeds the next candidate start (strictly increasing); returns a
-  /// completed interval if this start cannot extend the pending one.
-  std::optional<Interval> Add(uint64_t start);
-
-  /// Returns the final pending interval, if any.
-  std::optional<Interval> Flush();
-
- private:
-  uint64_t interval_length_;
-  bool has_pending_ = false;
-  Interval pending_{0, 0};
-};
-
-/// Iterates the union of several predicate cursors in increasing time order
-/// — the "timesteps referenced by any C_i" loop of Algorithms 4 and 5.
-class UnionCursor {
- public:
-  explicit UnionCursor(std::vector<PredicateCursor> cursors);
-
-  bool valid() const;
-  uint64_t time() const;
-  Status Next();
-
- private:
-  std::vector<PredicateCursor> cursors_;
-  uint64_t min_time_ = 0;
-  void RecomputeMin();
-};
 
 }  // namespace caldera
 

@@ -1,82 +1,15 @@
 #include "caldera/mc_method.h"
 
-#include <chrono>
-
-#include "caldera/intersection.h"
-#include "reg/reg_operator.h"
+#include "caldera/executor.h"
 
 namespace caldera {
 
+// Algorithm 4 is a plan, not a loop: the BT_C union cursor under the
+// exact-span gap policy (gaps bridged through the MC index's composed
+// CPTs). The shared executor owns the Reg loop and all stats accounting.
 Result<QueryResult> RunMcMethod(ArchivedStream* archived,
                                 const RegularQuery& query) {
-  CALDERA_RETURN_IF_ERROR(query.ValidateAgainst(archived->schema()));
-  StoredStream* stream = archived->stream();
-  McIndex* mc = archived->mc();
-  if (mc == nullptr) {
-    return Status::FailedPrecondition("stream has no MC index: " +
-                                      archived->dir());
-  }
-
-  auto start_clock = std::chrono::steady_clock::now();
-  archived->ResetStats();
-
-  // Cursors on the positive base of every query predicate (primary and
-  // loop): this makes "skipped" timesteps provably null-atom steps.
-  std::vector<PredicateCursor> cursors;
-  for (const Predicate* pred : query.CursorPredicates()) {
-    CALDERA_ASSIGN_OR_RETURN(PredicateCursor cursor,
-                             MakePredicateCursor(archived, *pred));
-    cursors.push_back(std::move(cursor));
-  }
-  if (cursors.empty()) {
-    return Status::FailedPrecondition(
-        "query '" + query.name() + "' has no indexable predicate bases");
-  }
-
-  QueryResult result;
-  result.method = AccessMethodKind::kMcIndex;
-  RegOperator reg(query, archived->schema());
-  UnionCursor relevant(std::move(cursors));
-
-  Distribution marginal;
-  Cpt transition;
-  uint64_t t_prev = 0;
-  while (relevant.valid()) {
-    uint64_t t = relevant.time();
-    ++result.stats.relevant_timesteps;
-    if (!reg.initialized()) {
-      CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(t, &marginal));
-      result.signal.push_back({t, reg.Initialize(marginal)});
-    } else if (t == t_prev + 1) {
-      CALDERA_RETURN_IF_ERROR(stream->ReadTransition(t, &transition));
-      result.signal.push_back({t, reg.Update(transition)});
-    } else {
-      // Spans are resolved through the shared span-CPT cache: repeated
-      // variable-length queries over the same stream skip the composition
-      // chain entirely on a hit, and the shared Cpt carries its CSR kernel
-      // view across queries.
-      CALDERA_ASSIGN_OR_RETURN(std::shared_ptr<const Cpt> span,
-                               mc->GetSpanCpt(t_prev, t));
-      result.signal.push_back({t, reg.UpdateSpanning(*span, t - t_prev)});
-    }
-    t_prev = t;
-    CALDERA_RETURN_IF_ERROR(relevant.Next());
-  }
-
-  result.stats.reg_updates = reg.num_updates();
-  result.stats.intervals = result.stats.relevant_timesteps;
-  result.stats.mc_entry_fetches = mc->entry_fetches();
-  result.stats.mc_raw_fetches = mc->raw_fetches();
-  result.stats.span_cache_hits = mc->span_cache_hits();
-  result.stats.span_cache_misses = mc->span_cache_misses();
-  result.stats.kernel_seconds = reg.kernel_seconds() + mc->compose_seconds();
-  result.stats.stream_io = stream->IoStats();
-  result.stats.index_io = archived->IndexIoStats();
-  result.stats.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start_clock)
-          .count();
-  return result;
+  return RunPipeline(archived, query, AccessMethodKind::kMcIndex);
 }
 
 }  // namespace caldera

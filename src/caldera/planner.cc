@@ -1,7 +1,9 @@
 #include "caldera/planner.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "caldera/cursor.h"
 #include "caldera/intersection.h"
 
 namespace caldera {
@@ -12,12 +14,33 @@ namespace {
 constexpr double kDenseCutoff = 0.8;
 // Above this density a top-k query benefits from TA pruning (Section 4.2.2).
 constexpr double kTopkDensityCutoff = 0.5;
+
+// Stamps the EXPLAIN fields implied by the decided method.
+PlanDecision Finish(PlanDecision decision) {
+  decision.cursor = PipelineCursorName(decision.method);
+  decision.gap_policy = GapPolicyName(PipelineGapPolicy(decision.method));
+  return decision;
+}
 }  // namespace
+
+std::string PlanDecision::Explain() const {
+  char density_buf[32];
+  std::snprintf(density_buf, sizeof(density_buf), "%.4f", estimated_density);
+  std::string out = std::string("method=") + AccessMethodName(method);
+  if (!cursor.empty()) out += " cursor=" + cursor;
+  if (!gap_policy.empty()) out += " gap=" + gap_policy;
+  out += std::string(" density=") + density_buf;
+  if (!reason.empty()) out += " reason=" + reason;
+  return out;
+}
 
 Result<double> EstimateDensity(ArchivedStream* archived,
                                const RegularQuery& query,
                                uint64_t sample_limit) {
   const uint64_t length = archived->length();
+  // Empty stream: nothing is relevant, and count/length below must never
+  // divide by zero. Zero-posting predicates fall out of the loop naturally:
+  // their cursor starts exhausted, so count stays 0 and density is 0.
   if (length == 0) return 0.0;
   double max_density = 0.0;
   for (const Predicate* pred : query.CursorPredicates()) {
@@ -41,15 +64,27 @@ Result<PlanDecision> PlanQuery(ArchivedStream* archived,
                                bool approximation_ok) {
   PlanDecision decision;
 
+  const std::vector<const Predicate*> preds = query.CursorPredicates();
+  // A predicate base that is not indexable (e.g. the '*' under a Not)
+  // breaks every index method and even density estimation; don't plan one
+  // silently, and don't let EstimateDensity fail the whole plan.
+  bool indexable = !preds.empty();
   bool has_btc = true;
-  for (const Predicate* pred : query.CursorPredicates()) {
+  for (const Predicate* pred : preds) {
     const Predicate* base = pred->is_negation() ? &pred->base() : pred;
+    if (!base->indexable()) indexable = false;
     if (archived->btc(base->attribute()) == nullptr) has_btc = false;
+  }
+  if (!indexable) {
+    decision.method = AccessMethodKind::kScan;
+    decision.reason =
+        "no indexable predicate bases: full scan is the only option";
+    return Finish(std::move(decision));
   }
   if (!has_btc) {
     decision.method = AccessMethodKind::kScan;
     decision.reason = "missing BT_C index: full scan is the only option";
-    return decision;
+    return Finish(std::move(decision));
   }
 
   CALDERA_ASSIGN_OR_RETURN(decision.estimated_density,
@@ -69,7 +104,7 @@ Result<PlanDecision> PlanQuery(ArchivedStream* archived,
         decision.estimated_density >= kTopkDensityCutoff) {
       decision.method = AccessMethodKind::kTopK;
       decision.reason = "fixed-length top-k on dense data: TA pruning pays";
-      return decision;
+      return Finish(std::move(decision));
     }
     if (decision.estimated_density <= kDenseCutoff) {
       decision.method = AccessMethodKind::kBTree;
@@ -79,23 +114,23 @@ Result<PlanDecision> PlanQuery(ArchivedStream* archived,
       decision.reason =
           "fixed-length on dense data: B+Tree degenerates to a scan";
     }
-    return decision;
+    return Finish(std::move(decision));
   }
 
   // Variable-length.
   if (approximation_ok) {
     decision.method = AccessMethodKind::kSemiIndependent;
     decision.reason = "variable-length, approximation allowed";
-    return decision;
+    return Finish(std::move(decision));
   }
   if (archived->mc() != nullptr) {
     decision.method = AccessMethodKind::kMcIndex;
     decision.reason = "variable-length with MC index";
-    return decision;
+    return Finish(std::move(decision));
   }
   decision.method = AccessMethodKind::kScan;
   decision.reason = "variable-length without MC index: full scan";
-  return decision;
+  return Finish(std::move(decision));
 }
 
 }  // namespace caldera

@@ -16,6 +16,15 @@ struct PlanDecision {
   /// query (Section 4.1.2). Drives method selection.
   double estimated_density = 1.0;
   std::string reason;
+  /// EXPLAIN: the producer cursor the chosen method's pipeline plan uses
+  /// (e.g. "btc-merge-join") and its gap policy (e.g. "restart").
+  std::string cursor;
+  std::string gap_policy;
+
+  /// One-line EXPLAIN rendering:
+  ///   "method=btree cursor=btc-merge-join gap=restart density=0.1250
+  ///    reason=fixed-length on sparse data: cursor intersection"
+  std::string Explain() const;
 };
 
 /// Estimates the data density of `query` on `archived` by counting BT_C

@@ -1,46 +1,15 @@
 #include "caldera/scan_method.h"
 
-#include <chrono>
-
-#include "reg/reg_operator.h"
+#include "caldera/executor.h"
 
 namespace caldera {
 
+// Algorithm 1 is a plan, not a loop: the full-scan cursor under the
+// adjacent-only gap policy. The shared executor owns the Reg loop and all
+// stats accounting.
 Result<QueryResult> RunScanMethod(ArchivedStream* archived,
                                   const RegularQuery& query) {
-  CALDERA_RETURN_IF_ERROR(query.ValidateAgainst(archived->schema()));
-  StoredStream* stream = archived->stream();
-  if (stream->length() == 0) {
-    return Status::FailedPrecondition("empty stream");
-  }
-  auto start = std::chrono::steady_clock::now();
-  archived->ResetStats();
-
-  QueryResult result;
-  result.method = AccessMethodKind::kScan;
-  result.signal.reserve(stream->length());
-
-  RegOperator reg(query, archived->schema());
-  Distribution marginal;
-  CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(0, &marginal));
-  result.signal.push_back({0, reg.Initialize(marginal)});
-
-  Cpt transition;
-  for (uint64_t t = 1; t < stream->length(); ++t) {
-    CALDERA_RETURN_IF_ERROR(stream->ReadTransition(t, &transition));
-    result.signal.push_back({t, reg.Update(transition)});
-  }
-
-  result.stats.reg_updates = reg.num_updates();
-  result.stats.relevant_timesteps = stream->length();
-  result.stats.intervals = 1;
-  result.stats.kernel_seconds = reg.kernel_seconds();
-  result.stats.stream_io = stream->IoStats();
-  result.stats.index_io = archived->IndexIoStats();
-  result.stats.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return result;
+  return RunPipeline(archived, query, AccessMethodKind::kScan);
 }
 
 }  // namespace caldera

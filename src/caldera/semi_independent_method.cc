@@ -1,80 +1,20 @@
 #include "caldera/semi_independent_method.h"
 
-#include <chrono>
-
-#include "caldera/intersection.h"
-#include "reg/reg_operator.h"
+#include "caldera/executor.h"
 
 namespace caldera {
 
+// Algorithm 5 is a plan, not a loop: the BT_C union cursor under the
+// independence gap policy (optionally upgraded to exact spans from the
+// shared cache). The shared executor owns the Reg loop and all stats
+// accounting.
 Result<QueryResult> RunSemiIndependentMethod(ArchivedStream* archived,
                                              const RegularQuery& query,
                                              bool use_cached_spans) {
-  CALDERA_RETURN_IF_ERROR(query.ValidateAgainst(archived->schema()));
-  StoredStream* stream = archived->stream();
-  McIndex* mc = use_cached_spans ? archived->mc() : nullptr;
-
-  auto start_clock = std::chrono::steady_clock::now();
-  archived->ResetStats();
-
-  std::vector<PredicateCursor> cursors;
-  for (const Predicate* pred : query.CursorPredicates()) {
-    CALDERA_ASSIGN_OR_RETURN(PredicateCursor cursor,
-                             MakePredicateCursor(archived, *pred));
-    cursors.push_back(std::move(cursor));
-  }
-  if (cursors.empty()) {
-    return Status::FailedPrecondition(
-        "query '" + query.name() + "' has no indexable predicate bases");
-  }
-
-  QueryResult result;
-  result.method = AccessMethodKind::kSemiIndependent;
-  RegOperator reg(query, archived->schema());
-  UnionCursor relevant(std::move(cursors));
-
-  Distribution marginal;
-  Cpt transition;
-  uint64_t t_prev = 0;
-  while (relevant.valid()) {
-    uint64_t t = relevant.time();
-    ++result.stats.relevant_timesteps;
-    if (!reg.initialized()) {
-      CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(t, &marginal));
-      result.signal.push_back({t, reg.Initialize(marginal)});
-    } else if (t == t_prev + 1) {
-      // Adjacent: the raw CPT costs the same access as the marginal, so
-      // keep the exact correlation (line 9 of Algorithm 5).
-      CALDERA_RETURN_IF_ERROR(stream->ReadTransition(t, &transition));
-      result.signal.push_back({t, reg.Update(transition)});
-    } else if (std::shared_ptr<const Cpt> span =
-                   mc != nullptr ? mc->TryCachedSpan(t_prev, t) : nullptr) {
-      // Opportunistic exactness: another query already composed this span,
-      // so the spanning update costs only the cache lookup.
-      result.signal.push_back({t, reg.UpdateSpanning(*span, t - t_prev)});
-    } else {
-      // Gap: approximate with independence (line 11).
-      CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(t, &marginal));
-      result.signal.push_back({t, reg.UpdateIndependent(marginal)});
-    }
-    t_prev = t;
-    CALDERA_RETURN_IF_ERROR(relevant.Next());
-  }
-
-  result.stats.reg_updates = reg.num_updates();
-  result.stats.intervals = result.stats.relevant_timesteps;
-  if (mc != nullptr) {
-    result.stats.span_cache_hits = mc->span_cache_hits();
-    result.stats.span_cache_misses = mc->span_cache_misses();
-  }
-  result.stats.kernel_seconds = reg.kernel_seconds();
-  result.stats.stream_io = stream->IoStats();
-  result.stats.index_io = archived->IndexIoStats();
-  result.stats.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start_clock)
-          .count();
-  return result;
+  PipelineOptions options;
+  options.use_cached_spans = use_cached_spans;
+  return RunPipeline(archived, query, AccessMethodKind::kSemiIndependent,
+                     options);
 }
 
 }  // namespace caldera

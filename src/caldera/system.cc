@@ -1,10 +1,8 @@
 #include "caldera/system.h"
 
-#include "caldera/btree_method.h"
-#include "caldera/mc_method.h"
-#include "caldera/scan_method.h"
-#include "caldera/semi_independent_method.h"
-#include "caldera/topk_method.h"
+#include <cstdio>
+
+#include "caldera/executor.h"
 
 namespace caldera {
 
@@ -59,70 +57,13 @@ Result<PlanDecision> Caldera::Plan(const std::string& stream_name,
     PlanDecision decision;
     decision.method = options.method;
     decision.reason = "explicitly requested";
+    decision.cursor = PipelineCursorName(options.method);
+    decision.gap_policy = GapPolicyName(PipelineGapPolicy(options.method));
     return decision;
   }
   return PlanQuery(archived.get(), query,
                    options.k > 0 || options.threshold > 0,
                    options.approximation_ok);
-}
-
-namespace {
-
-// Errors a scan fallback can rescue: damaged or missing index artifacts.
-// NotFound (no such stream) and InvalidArgument (bad query) are not
-// rescuable — the scan would fail identically.
-bool ScanFallbackApplies(const Status& st) {
-  return st.code() == StatusCode::kCorruption ||
-         st.code() == StatusCode::kIoError ||
-         st.code() == StatusCode::kFailedPrecondition;
-}
-
-}  // namespace
-
-Result<QueryResult> Caldera::ExecuteOnHandle(ArchivedStream* archived,
-                                             const RegularQuery& query,
-                                             const ExecOptions& options,
-                                             AccessMethodKind method) {
-  auto finalize = [&options](QueryResult result) {
-    if (options.threshold > 0) {
-      result.signal = FilterSignal(result.signal, options.threshold);
-    }
-    if (options.k > 0) result.signal = TopKOfSignal(result.signal, options.k);
-    return result;
-  };
-
-  switch (method) {
-    case AccessMethodKind::kScan: {
-      CALDERA_ASSIGN_OR_RETURN(QueryResult result,
-                               RunScanMethod(archived, query));
-      return finalize(std::move(result));
-    }
-    case AccessMethodKind::kBTree: {
-      CALDERA_ASSIGN_OR_RETURN(QueryResult result,
-                               RunBTreeMethod(archived, query));
-      return finalize(std::move(result));
-    }
-    case AccessMethodKind::kTopK:
-      if (options.threshold > 0) {
-        return RunThresholdMethod(archived, query, options.threshold);
-      }
-      return RunTopKMethod(archived, query,
-                           options.k > 0 ? options.k : size_t{1});
-    case AccessMethodKind::kMcIndex: {
-      CALDERA_ASSIGN_OR_RETURN(QueryResult result,
-                               RunMcMethod(archived, query));
-      return finalize(std::move(result));
-    }
-    case AccessMethodKind::kSemiIndependent: {
-      CALDERA_ASSIGN_OR_RETURN(
-          QueryResult result,
-          RunSemiIndependentMethod(archived, query, options.use_cached_spans));
-      return finalize(std::move(result));
-    }
-    case AccessMethodKind::kAuto:
-      break;
-  }
-  return Status::Internal("planner returned kAuto");
 }
 
 Result<QueryResult> Caldera::Execute(const std::string& stream_name,
@@ -156,12 +97,16 @@ Result<QueryResult> Caldera::Execute(const std::string& stream_name,
   }
 
   AccessMethodKind method = options.method;
+  std::string reason = "explicitly requested";
+  double density = -1.0;  // < 0: the planner did not run.
   if (method == AccessMethodKind::kAuto) {
     Result<PlanDecision> decision =
         PlanQuery(handle.get(), query, options.k > 0 || options.threshold > 0,
                   options.approximation_ok);
     if (decision.ok()) {
       method = decision->method;
+      reason = decision->reason;
+      density = decision->estimated_density;
     } else if (options.fallback_to_scan &&
                ScanFallbackApplies(decision.status())) {
       // Planning itself touches indexes (density estimation); a corrupt
@@ -170,22 +115,17 @@ Result<QueryResult> Caldera::Execute(const std::string& stream_name,
         ++corruption_events;
       }
       method = AccessMethodKind::kScan;
+      reason = "planning failed (" + decision.status().message() +
+               "): degraded to scan";
     } else {
       return decision.status();
     }
   }
 
+  // The executor owns the method dispatch, the threshold/top-k
+  // post-filters, and the mid-query scan rescue.
   Result<QueryResult> result =
-      ExecuteOnHandle(handle.get(), query, options, method);
-  if (!result.ok() && method != AccessMethodKind::kScan &&
-      options.fallback_to_scan && ScanFallbackApplies(result.status())) {
-    if (result.status().code() == StatusCode::kCorruption) {
-      ++corruption_events;
-    }
-    result = ExecuteOnHandle(handle.get(), query, options,
-                             AccessMethodKind::kScan);
-    if (result.ok()) ++result->stats.scan_fallbacks;
-  }
+      ExecutePipelineMethod(handle.get(), query, method, options);
   if (!result.ok()) return result.status();
   result->stats.corruption_events += corruption_events;
   if (corruption_events > 0 && method == AccessMethodKind::kScan &&
@@ -193,6 +133,23 @@ Result<QueryResult> Caldera::Execute(const std::string& stream_name,
     // The scan was forced by damage discovered at open/plan time.
     ++result->stats.scan_fallbacks;
   }
+
+  // EXPLAIN plumbing: prepend the decided method and append the planner's
+  // view to the executor's cursor/gap/prefetch summary. result->method can
+  // differ from `method` after a mid-query rescue.
+  result->plan_reason = reason;
+  std::string summary =
+      std::string("method=") + AccessMethodName(result->method);
+  if (!result->stats.plan_summary.empty()) {
+    summary += " " + result->stats.plan_summary;
+  }
+  if (density >= 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " density=%.4f", density);
+    summary += buf;
+  }
+  summary += " reason=" + reason;
+  result->stats.plan_summary = std::move(summary);
   return result;
 }
 

@@ -42,6 +42,13 @@ struct ExecOptions {
   /// queries happened to cache — e.g. batch runs would lose their
   /// thread-count-independent determinism.
   bool use_cached_spans = false;
+  /// Pipeline prefetch: when > 0, a background stage decodes the next
+  /// `prefetch_batch` relevant timesteps (index probes, record reads, CPT
+  /// decode) while the Reg operator processes the current batch. Purely a
+  /// latency knob — the signal and all non-timing stats are identical for
+  /// every value, and methods whose cursors consume result feedback
+  /// (top-k/threshold) always run synchronously. 0 = off.
+  size_t prefetch_batch = 0;
 };
 
 /// The Caldera system facade (Figure 1): an archive of smoothed Markovian
@@ -114,12 +121,6 @@ class Caldera {
   Status RebuildIndexes(const std::string& stream_name);
 
  private:
-  /// Plans (when needed) and runs `query` on an already-open handle,
-  /// applying the method-specific dispatch plus threshold/top-k filtering.
-  Result<QueryResult> ExecuteOnHandle(ArchivedStream* archived,
-                                      const RegularQuery& query,
-                                      const ExecOptions& options,
-                                      AccessMethodKind method);
   struct CachedHandle {
     uint64_t epoch = 0;  // Epoch the handle was opened under.
     std::shared_ptr<ArchivedStream> stream;

@@ -1,199 +1,20 @@
 #include "caldera/topk_method.h"
 
-#include <algorithm>
-#include <chrono>
-#include <unordered_set>
-
-#include "index/btp_index.h"
-#include "reg/reg_operator.h"
+#include "caldera/executor.h"
 
 namespace caldera {
 
-namespace {
-
-constexpr size_t kUnbounded = SIZE_MAX;
-
-/// The result set of the Threshold-Algorithm walk ("bestMatches" of
-/// Algorithm 3). Two modes share it:
-///   top-k:     k bounded, threshold 0  -> keep the k most probable.
-///   threshold: k unbounded, tau > 0    -> keep everything above tau.
-class BestMatches {
- public:
-  BestMatches(size_t k, double threshold) : k_(k), threshold_(threshold) {}
-
-  /// The probability an unseen candidate must beat to matter. Zero means
-  /// "cannot stop yet" (top-k not yet full).
-  double Floor() const {
-    double kth = (k_ != kUnbounded && matches_.size() >= k_)
-                     ? matches_.back().prob
-                     : 0.0;
-    return std::max(threshold_, kth);
-  }
-
-  /// True once the termination condition may fire against Floor().
-  bool CanStop(double unseen_bound) const {
-    double floor = Floor();
-    return floor > 0.0 && unseen_bound <= floor;
-  }
-
-  void Evaluate(uint64_t time, double prob) {
-    if (prob <= threshold_ || prob <= 0.0) return;
-    TimestepProbability entry{time, prob};
-    auto pos = std::lower_bound(
-        matches_.begin(), matches_.end(), entry,
-        [](const TimestepProbability& a, const TimestepProbability& b) {
-          if (a.prob != b.prob) return a.prob > b.prob;
-          return a.time < b.time;
-        });
-    matches_.insert(pos, entry);
-    if (k_ != kUnbounded && matches_.size() > k_) matches_.pop_back();
-  }
-
-  QuerySignal Take() { return std::move(matches_); }
-
- private:
-  size_t k_;
-  double threshold_;
-  QuerySignal matches_;  // Sorted by prob desc.
-};
-
-// Shared Threshold-Algorithm walk (Algorithm 3 and its threshold variant).
-Result<QueryResult> RunTaWalk(ArchivedStream* archived,
-                              const RegularQuery& query, size_t k,
-                              double threshold) {
-  CALDERA_RETURN_IF_ERROR(query.ValidateAgainst(archived->schema()));
-  if (!query.fixed_length()) {
-    return Status::FailedPrecondition(
-        "the top-k/threshold B+Tree access method handles fixed-length "
-        "queries only");
-  }
-  StoredStream* stream = archived->stream();
-  const uint64_t n = query.num_links();
-  const StreamSchema& schema = archived->schema();
-
-  auto start_clock = std::chrono::steady_clock::now();
-  archived->ResetStats();
-
-  // One BT_P cursor per link. Every link must be indexable: the TA needs
-  // sorted access to every link's marginals.
-  std::vector<TopProbCursor> cursors;
-  for (size_t i = 0; i < n; ++i) {
-    const Predicate& primary = query.link(i).primary;
-    if (!primary.indexable()) {
-      return Status::FailedPrecondition(
-          "top-k method requires every link predicate to be indexable");
-    }
-    if (primary.kind() == Predicate::Kind::kRange) {
-      return Status::FailedPrecondition(
-          "top-k method does not support range predicates (Section 3.4.1)");
-    }
-    BTree* tree = archived->btp(primary.attribute());
-    if (tree == nullptr) {
-      return Status::FailedPrecondition(
-          "no BT_P index on attribute " +
-          std::to_string(primary.attribute()));
-    }
-    CALDERA_ASSIGN_OR_RETURN(
-        TopProbCursor cursor,
-        TopProbCursor::Create(tree,
-                              primary.MatchedAttributeValues(schema)));
-    cursors.push_back(std::move(cursor));
-  }
-
-  QueryResult result;
-  result.method = AccessMethodKind::kTopK;
-  BestMatches best(k, threshold);
-  std::unordered_set<uint64_t> evaluated;
-  RegOperator reg(query, schema);
-  uint64_t reg_updates = 0;
-  double kernel_seconds = 0.0;
-
-  // Predicate marginal probe (line 9 of Algorithm 3) against the stream.
-  Distribution marginal;
-  auto predicate_prob = [&](size_t link, uint64_t t) -> Result<double> {
-    CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(t, &marginal));
-    const Predicate& p = query.link(link).primary;
-    return marginal.MassWhere(
-        [&](ValueId state) { return p.Matches(schema, state); });
-  };
-
-  for (;;) {
-    // Termination (lines 5-6): no unseen interval can beat the floor once
-    // the min over links of the per-link upper bound drops to it. Exhausted
-    // cursors bound their link by 0.
-    double unseen_bound = 1.0;
-    size_t best_cursor = SIZE_MAX;
-    double best_head = -1.0;
-    for (size_t i = 0; i < n; ++i) {
-      double bound = cursors[i].valid() ? cursors[i].UpperBound() : 0.0;
-      unseen_bound = std::min(unseen_bound, bound);
-      double head = cursors[i].valid() ? cursors[i].prob() : -1.0;
-      if (head > best_head) {
-        best_head = head;
-        best_cursor = i;
-      }
-    }
-    if (best_cursor == SIZE_MAX) break;  // All cursors exhausted.
-    if (best.CanStop(unseen_bound)) break;
-
-    // Sorted access: pop the globally most probable remaining entry.
-    uint64_t entry_time = cursors[best_cursor].time();
-    CALDERA_RETURN_IF_ERROR(cursors[best_cursor].Next());
-
-    // The candidate interval places this link at its offset.
-    if (entry_time < best_cursor) continue;
-    uint64_t s = entry_time - best_cursor;
-    if (s + n > stream->length()) continue;
-    if (!evaluated.insert(s).second) continue;
-
-    // Line 9: prune when any link's marginal is zero at its offset, or
-    // (since marginals bound the match) at or below the current floor.
-    double floor = best.Floor();
-    bool prune = false;
-    for (size_t i = 0; i < n && !prune; ++i) {
-      CALDERA_ASSIGN_OR_RETURN(double p, predicate_prob(i, s + i));
-      if (p <= 0.0 || p <= floor) prune = true;
-    }
-    if (prune) {
-      ++result.stats.pruned_candidates;
-      continue;
-    }
-
-    // Lines 10-12: run Reg over the interval; its probability at the final
-    // timestep is the match probability of this candidate.
-    reg.Reset();
-    CALDERA_RETURN_IF_ERROR(stream->ReadMarginal(s, &marginal));
-    double p = reg.Initialize(marginal);
-    Cpt transition;
-    for (uint64_t t = s + 1; t < s + n; ++t) {
-      CALDERA_RETURN_IF_ERROR(stream->ReadTransition(t, &transition));
-      p = reg.Update(transition);
-    }
-    reg_updates += reg.num_updates();
-    kernel_seconds += reg.kernel_seconds();
-    ++result.stats.intervals;
-    best.Evaluate(s + n - 1, p);
-  }
-
-  result.signal = best.Take();
-  result.stats.reg_updates = reg_updates;
-  result.stats.relevant_timesteps = evaluated.size();
-  result.stats.kernel_seconds = kernel_seconds;
-  result.stats.stream_io = stream->IoStats();
-  result.stats.index_io = archived->IndexIoStats();
-  result.stats.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start_clock)
-          .count();
-  return result;
-}
-
-}  // namespace
+// Algorithm 3 is a plan, not a loop: the BT_P threshold cursor under the
+// restart gap policy. The cursor runs the Threshold-Algorithm walk itself
+// (it needs Reg's probabilities fed back to tighten its pruning floor); the
+// shared executor owns the Reg loop and all stats accounting.
 
 Result<QueryResult> RunTopKMethod(ArchivedStream* archived,
                                   const RegularQuery& query, size_t k) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  return RunTaWalk(archived, query, k, /*threshold=*/0.0);
+  PipelineOptions options;
+  options.k = k;
+  return RunPipeline(archived, query, AccessMethodKind::kTopK, options);
 }
 
 Result<QueryResult> RunThresholdMethod(ArchivedStream* archived,
@@ -202,7 +23,9 @@ Result<QueryResult> RunThresholdMethod(ArchivedStream* archived,
   if (threshold <= 0.0 || threshold >= 1.0) {
     return Status::InvalidArgument("threshold must be in (0, 1)");
   }
-  return RunTaWalk(archived, query, kUnbounded, threshold);
+  PipelineOptions options;
+  options.threshold = threshold;
+  return RunPipeline(archived, query, AccessMethodKind::kTopK, options);
 }
 
 }  // namespace caldera

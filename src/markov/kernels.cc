@@ -243,7 +243,13 @@ __attribute__((target("avx2,fma"))) void ScatterRowAvx2(
     __m128i idx =
         _mm_loadu_si128(reinterpret_cast<const __m128i*>(dsts + j));
     __m256d p = _mm256_loadu_pd(probs + j);
-    __m256d cur = _mm256_i32gather_pd(dense, idx, 8);
+    // Masked gather with an explicit zero source: the all-ones mask makes
+    // it identical to the plain gather, but the plain intrinsic's
+    // uninitialized pass-through operand trips GCC's -Wmaybe-uninitialized.
+    const __m256d ones_mask =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(int64_t{-1}));
+    __m256d cur = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), dense, idx,
+                                           ones_mask, 8);
     __m256d res = _mm256_fmadd_pd(vw, p, cur);
     alignas(32) double lanes[4];
     _mm256_store_pd(lanes, res);
