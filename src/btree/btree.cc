@@ -146,6 +146,11 @@ Status BTree::Flush() {
   return pool_->FlushAll();
 }
 
+Status BTree::Sync() {
+  CALDERA_RETURN_IF_ERROR(Flush());
+  return pager_->Sync();
+}
+
 // Descends from the root to the leaf that should contain `key`. If
 // `path_out` is non-null it receives the internal pages visited, root first.
 Result<PageId> BTree::FindLeaf(std::string_view key,
@@ -348,7 +353,11 @@ Status BTree::Insert(std::string_view key, std::string_view value) {
     std::memmove(base + (pos + 1) * es, base + pos * es,
                  (count - pos) * static_cast<size_t>(es));
     std::memcpy(base + pos * es, key.data(), ks);
-    std::memcpy(base + pos * es + ks, value.data(), options_.value_size);
+    // Empty values (BT_P) come in as default string_views with a null
+    // data(); passing that to memcpy is UB even at length zero.
+    if (!value.empty()) {
+      std::memcpy(base + pos * es + ks, value.data(), options_.value_size);
+    }
     SetNodeCount(data, count + 1);
     leaf.MarkDirty();
     ++num_entries_;
@@ -362,7 +371,7 @@ Status BTree::Insert(std::string_view key, std::string_view value) {
     entries.emplace_back(data + kNodeHeaderSize + i * es, es);
   }
   std::string new_entry(key.data(), ks);
-  new_entry.append(value.data(), options_.value_size);
+  if (!value.empty()) new_entry.append(value.data(), options_.value_size);
   entries.insert(entries.begin() + pos, std::move(new_entry));
 
   uint32_t mid = static_cast<uint32_t>(entries.size()) / 2;
@@ -665,7 +674,7 @@ Status BTreeBuilder::Add(std::string_view key, std::string_view value) {
   }
   last_key_.assign(key.data(), key.size());
   leaf_buf_.append(key.data(), key.size());
-  leaf_buf_.append(value.data(), value.size());
+  if (!value.empty()) leaf_buf_.append(value.data(), value.size());
   ++leaf_count_;
   ++total_entries_;
   if (leaf_count_ >= max_leaf_entries_) CALDERA_RETURN_IF_ERROR(FlushLeaf());

@@ -89,6 +89,10 @@ class BTree {
   /// Writes back dirty pages and the tree meta page.
   Status Flush();
 
+  /// Flush + fsync: makes every insert so far durable. Used by the ingest
+  /// path after applying a committed batch.
+  Status Sync();
+
   uint64_t num_entries() const { return num_entries_; }
   uint32_t height() const { return height_; }
   const BTreeOptions& options() const { return options_; }

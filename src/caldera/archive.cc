@@ -232,21 +232,14 @@ Status StreamArchive::RebuildIndexes(const std::string& name) {
   }
   if (ec) return Status::IoError("cannot list " + dir + ": " + ec.message());
 
-  // The MC index's build parameters live in mc/mc.meta; recover alpha when
-  // the metadata is still readable, otherwise rebuild with defaults.
+  // The MC index's build parameters live in mc/mc.meta; recover the full
+  // option set when the metadata is still readable, otherwise rebuild with
+  // defaults.
   const bool had_mc = FileExists(McDir(dir) + "/mc.meta");
   McIndexOptions mc_options;
   if (had_mc) {
-    Result<std::unique_ptr<File>> meta =
-        File::OpenReadOnly(McDir(dir) + "/mc.meta");
-    if (meta.ok() && (*meta)->size() >= 12) {
-      char buf[12];
-      if ((*meta)->ReadAt(0, 12, buf).ok() &&
-          std::memcmp(buf, "CLDRMCI1", 8) == 0) {
-        uint32_t alpha = GetFixed32(buf + 8);
-        if (alpha >= 2) mc_options.alpha = alpha;
-      }
-    }
+    Result<McIndexOptions> recovered = McIndex::ReadBuildOptions(McDir(dir));
+    if (recovered.ok()) mc_options = *recovered;
   }
 
   for (size_t attr : btc_attrs) {

@@ -43,6 +43,35 @@ uint64_t Caldera::InvalidateStreams() {
   return ++epoch_;
 }
 
+void Caldera::NotifyStreamMutation() {
+  InvalidateStreams();
+  span_cache_->Clear();
+}
+
+std::shared_mutex* Caldera::StreamMutationLock(
+    const std::string& stream_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<std::shared_mutex>& slot = stream_locks_[stream_name];
+  if (slot == nullptr) slot = std::make_unique<std::shared_mutex>();
+  return slot.get();
+}
+
+Result<std::unique_ptr<StreamIngestor>> Caldera::OpenForIngest(
+    const std::string& stream_name) {
+  if (!archive_.HasStream(stream_name)) {
+    return Status::NotFound("no stream named '" + stream_name +
+                            "' in archive");
+  }
+  StreamIngestor::Options options;
+  options.apply_mutex = StreamMutationLock(stream_name);
+  // Epoch-bump on every commit (and on the recovery replay inside Open):
+  // queries in flight finish against their snapshot handles; the next
+  // GetStream reopens and sees the appended timesteps.
+  options.on_commit = [this](uint64_t) { NotifyStreamMutation(); };
+  return StreamIngestor::Open(archive_.StreamDir(stream_name),
+                              std::move(options));
+}
+
 uint64_t Caldera::stream_epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return epoch_;
@@ -51,6 +80,8 @@ uint64_t Caldera::stream_epoch() const {
 Result<PlanDecision> Caldera::Plan(const std::string& stream_name,
                                    const RegularQuery& query,
                                    const ExecOptions& options) {
+  std::shared_lock<std::shared_mutex> read_guard(
+      *StreamMutationLock(stream_name));
   CALDERA_ASSIGN_OR_RETURN(std::shared_ptr<ArchivedStream> archived,
                            GetStream(stream_name, options.pool_pages));
   if (options.method != AccessMethodKind::kAuto) {
@@ -69,8 +100,13 @@ Result<PlanDecision> Caldera::Plan(const std::string& stream_name,
 Result<QueryResult> Caldera::Execute(const std::string& stream_name,
                                      const RegularQuery& query,
                                      const ExecOptions& options) {
-  // The shared_ptr keeps the stream alive for the whole execution even if
-  // another thread invalidates the cache mid-query.
+  // Shared hold on the stream's mutation lock for the whole execution: an
+  // ingest apply or index rebuild (exclusive holders) cannot mutate the
+  // B+ trees this query is reading mid-flight, so the query sees either the
+  // pre- or post-mutation stream, never a mix. The shared_ptr additionally
+  // keeps the handle alive if the cache is invalidated mid-query.
+  std::shared_lock<std::shared_mutex> read_guard(
+      *StreamMutationLock(stream_name));
   std::shared_ptr<ArchivedStream> handle;
   uint64_t corruption_events = 0;
   {
@@ -154,13 +190,13 @@ Result<QueryResult> Caldera::Execute(const std::string& stream_name,
 }
 
 Status Caldera::RebuildIndexes(const std::string& stream_name) {
+  // Exclusive: rebuild rewrites index files that open handles read in
+  // place. Queries (shared holders) drain first, and the mutation
+  // notification lands before any of them can reopen.
+  std::unique_lock<std::shared_mutex> guard(
+      *StreamMutationLock(stream_name));
   CALDERA_RETURN_IF_ERROR(archive_.RebuildIndexes(stream_name));
-  // New index files ⇒ cached handles are stale, and so is every composed
-  // span CPT. The epoch bump already orphans them logically (fresh handles
-  // carry the new epoch in their cache keys); the Clear also reclaims the
-  // bytes instead of waiting for LRU pressure.
-  InvalidateStreams();
-  span_cache_->Clear();
+  NotifyStreamMutation();
   return Status::Ok();
 }
 

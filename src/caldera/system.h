@@ -5,11 +5,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "caldera/access_method.h"
 #include "caldera/archive.h"
 #include "caldera/planner.h"
+#include "ingest/ingestor.h"
 #include "query/regular_query.h"
 
 namespace caldera {
@@ -120,6 +122,31 @@ class Caldera {
   /// invalidates cached handles so the next query sees the fresh indexes.
   Status RebuildIndexes(const std::string& stream_name);
 
+  /// Opens a live-append handle for `stream_name` (the growing-stream
+  /// ingestion pipeline, src/ingest/). The open replays the stream's WAL if
+  /// a previous writer crashed mid-commit, and every committed batch runs
+  /// under the stream's writer lock and ends in NotifyStreamMutation, so
+  /// concurrent queries see either the pre- or post-append stream — never a
+  /// mix — and new queries see the appended timesteps immediately. At most
+  /// one live ingestor per stream at a time (not enforced).
+  Result<std::unique_ptr<StreamIngestor>> OpenForIngest(
+      const std::string& stream_name);
+
+  /// The single epoch-bump/invalidation point behind every in-place stream
+  /// mutation (index rebuild, ingest commit): drops cached handles (next
+  /// GetStream reopens against the new on-disk state) and clears the span-
+  /// CPT cache. The epoch bump alone already orphans span entries logically
+  /// — fresh handles stamp the new epoch into their cache keys — and the
+  /// Clear reclaims the bytes instead of waiting for LRU pressure.
+  void NotifyStreamMutation();
+
+  /// The per-stream reader/writer lock that serializes in-place mutation
+  /// (ingest apply, index rebuild — exclusive) against query execution
+  /// (shared). Stable address for the life of the facade. B+ trees mutate
+  /// in place, so unlike the snapshot-safe record files they need this
+  /// exclusion.
+  std::shared_mutex* StreamMutationLock(const std::string& stream_name);
+
  private:
   struct CachedHandle {
     uint64_t epoch = 0;  // Epoch the handle was opened under.
@@ -131,6 +158,11 @@ class Caldera {
   mutable std::mutex mu_;
   uint64_t epoch_ = 0;
   std::map<std::string, CachedHandle> open_streams_;
+  // Lock order: a stream's mutation lock is always acquired BEFORE mu_
+  // (Execute: stream lock -> GetStream -> mu_; ingest commit: stream lock
+  // -> NotifyStreamMutation -> mu_). mu_ is never held while acquiring a
+  // stream lock. unique_ptr keeps addresses stable across map growth.
+  std::map<std::string, std::unique_ptr<std::shared_mutex>> stream_locks_;
 };
 
 }  // namespace caldera

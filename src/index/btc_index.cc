@@ -116,6 +116,26 @@ Result<std::unique_ptr<BTree>> BuildBtcIndexFromStored(
   return BuildFromEntries(std::move(entries), path, page_size);
 }
 
+Status InsertBtcTimestep(BTree* tree, const Distribution& marginal,
+                         const StreamSchema& schema, size_t attr,
+                         uint64_t t) {
+  if (tree->options().key_size != kBtcKeySize) {
+    return Status::InvalidArgument("tree is not a BT_C index");
+  }
+  std::vector<IndexEntry> entries;
+  AppendAttributeEntries(marginal, schema, attr, t, &entries);
+  std::string value_buf;
+  for (const IndexEntry& e : entries) {
+    value_buf.clear();
+    PutDouble(e.prob, &value_buf);
+    Status inserted = tree->Insert(EncodeBtcKey(e.value, e.time), value_buf);
+    if (!inserted.ok() && inserted.code() != StatusCode::kAlreadyExists) {
+      return inserted;
+    }
+  }
+  return Status::Ok();
+}
+
 Result<PredicateCursor> PredicateCursor::Create(BTree* tree,
                                                 std::vector<uint32_t> values) {
   if (tree->options().key_size != kBtcKeySize) {

@@ -42,6 +42,15 @@ Result<std::unique_ptr<BTree>> BuildBtcIndexFromStored(
     StoredStream* stream, size_t attr, const std::string& path,
     uint32_t page_size = kDefaultPageSize);
 
+/// Live-ingestion path: inserts the BT_C entries of one new timestep's
+/// marginal into an existing tree. Probabilities are aggregated exactly as
+/// the bulk build does (stable sort, state-id summation order), so the tree
+/// content matches a from-scratch rebuild bit for bit. AlreadyExists from
+/// an individual insert is tolerated — a recovery replay re-applies a
+/// half-applied batch idempotently.
+Status InsertBtcTimestep(BTree* tree, const Distribution& marginal,
+                         const StreamSchema& schema, size_t attr, uint64_t t);
+
 /// Iterates, in strictly increasing time order, the timesteps at which ANY
 /// of a set of attribute values has nonzero marginal probability — i.e. the
 /// timesteps relevant to one predicate. Implemented as a k-way merge of the

@@ -113,6 +113,23 @@ Result<std::unique_ptr<BTree>> BuildBtpIndexFromStored(
   return BuildFromEntries(std::move(entries), path, page_size);
 }
 
+Status InsertBtpTimestep(BTree* tree, const Distribution& marginal,
+                         const StreamSchema& schema, size_t attr,
+                         uint64_t t) {
+  if (tree->options().key_size != kBtpKeySize) {
+    return Status::InvalidArgument("tree is not a BT_P index");
+  }
+  std::vector<IndexEntry> entries;
+  AppendAttributeEntries(marginal, schema, attr, t, &entries);
+  for (const IndexEntry& e : entries) {
+    Status inserted = tree->Insert(EncodeBtpKey(e.value, e.prob, e.time), {});
+    if (!inserted.ok() && inserted.code() != StatusCode::kAlreadyExists) {
+      return inserted;
+    }
+  }
+  return Status::Ok();
+}
+
 Result<TopProbCursor> TopProbCursor::Create(BTree* tree,
                                             std::vector<uint32_t> values) {
   if (tree->options().key_size != kBtpKeySize) {

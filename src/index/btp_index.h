@@ -40,6 +40,12 @@ Result<std::unique_ptr<BTree>> BuildBtpIndexFromStored(
     StoredStream* stream, size_t attr, const std::string& path,
     uint32_t page_size = kDefaultPageSize);
 
+/// Live-ingestion path: inserts the BT_P entries of one new timestep's
+/// marginal into an existing tree, aggregated exactly as the bulk build
+/// does. AlreadyExists is tolerated for idempotent recovery replay.
+Status InsertBtpTimestep(BTree* tree, const Distribution& marginal,
+                         const StreamSchema& schema, size_t attr, uint64_t t);
+
 /// Iterates the (time, probability) entries of one predicate in decreasing
 /// probability order, merging the per-value runs of a BT_P tree.
 ///

@@ -30,6 +30,65 @@ void TruncateCptRows(Cpt* cpt, double eps) {
   *cpt = std::move(out);
 }
 
+// Fixed metadata prefix: magic, alpha, num_levels, stream_length, domain.
+constexpr size_t kMetaPrefixSize = 28;
+// Build options appended after the level counts (newer files only):
+// truncate_eps f64, max_span u64, page_size u32.
+constexpr size_t kMetaOptionsSize = 20;
+
+// Writes mc.meta atomically enough for our purposes (the ingest WAL
+// snapshots the old contents before any in-place mutation).
+Status WriteMcMeta(const std::string& dir, uint64_t stream_length,
+                   uint32_t domain, const std::vector<uint64_t>& level_counts,
+                   const McIndexOptions& options) {
+  std::string meta(kMcMagic, 8);
+  PutFixed32(options.alpha, &meta);
+  PutFixed32(static_cast<uint32_t>(level_counts.size()), &meta);
+  PutFixed64(stream_length, &meta);
+  PutFixed32(domain, &meta);
+  for (uint64_t count : level_counts) PutFixed64(count, &meta);
+  PutDouble(options.truncate_eps, &meta);
+  PutFixed64(options.max_span, &meta);
+  PutFixed32(options.page_size, &meta);
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                           File::OpenOrCreate(dir + "/mc.meta"));
+  CALDERA_RETURN_IF_ERROR(f->Truncate(0));
+  CALDERA_RETURN_IF_ERROR(f->Append(meta));
+  return f->Sync();
+}
+
+Result<McMetaSummary> ReadMcMeta(const std::string& dir) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                           File::OpenReadOnly(dir + "/mc.meta"));
+  std::string meta(f->size(), '\0');
+  CALDERA_RETURN_IF_ERROR(f->ReadAt(0, meta.size(), meta.data()));
+  if (meta.size() < kMetaPrefixSize ||
+      meta.compare(0, 8, kMcMagic, 8) != 0) {
+    return Status::Corruption("bad MC index meta in " + dir);
+  }
+  McMetaSummary out;
+  const uint32_t alpha = GetFixed32(meta.data() + 8);
+  const uint32_t num_levels = GetFixed32(meta.data() + 12);
+  out.stream_length = GetFixed64(meta.data() + 16);
+  out.domain = GetFixed32(meta.data() + 24);
+  if (alpha < 2) return Status::Corruption("bad MC alpha in " + dir);
+  size_t offset = kMetaPrefixSize;
+  if (meta.size() < offset + 8 * uint64_t{num_levels}) {
+    return Status::Corruption("truncated MC level counts in " + dir);
+  }
+  out.level_counts.reserve(num_levels);
+  for (uint32_t i = 0; i < num_levels; ++i, offset += 8) {
+    out.level_counts.push_back(GetFixed64(meta.data() + offset));
+  }
+  out.options.alpha = alpha;
+  if (meta.size() >= offset + kMetaOptionsSize) {
+    out.options.truncate_eps = GetDouble(meta.data() + offset);
+    out.options.max_span = GetFixed64(meta.data() + offset + 8);
+    out.options.page_size = GetFixed32(meta.data() + offset + 16);
+  }
+  return out;
+}
+
 }  // namespace
 
 Status McIndex::Build(const MarkovianStream& stream, const std::string& dir,
@@ -91,18 +150,108 @@ Status McIndex::Build(const MarkovianStream& stream, const std::string& dir,
     span *= options.alpha;
   }
 
-  // Metadata.
-  std::string meta(kMcMagic, 8);
-  PutFixed32(options.alpha, &meta);
-  PutFixed32(static_cast<uint32_t>(level_counts.size()), &meta);
-  PutFixed64(stream.length(), &meta);
-  PutFixed32(domain, &meta);
-  for (uint64_t count : level_counts) PutFixed64(count, &meta);
-  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
-                           File::OpenOrCreate(dir + "/mc.meta"));
-  CALDERA_RETURN_IF_ERROR(f->Truncate(0));
-  CALDERA_RETURN_IF_ERROR(f->Append(meta));
-  return f->Sync();
+  return WriteMcMeta(dir, stream.length(), domain, level_counts, options);
+}
+
+Result<McIndexOptions> McIndex::ReadBuildOptions(const std::string& dir) {
+  CALDERA_ASSIGN_OR_RETURN(McMetaSummary meta, ReadMcMeta(dir));
+  return meta.options;
+}
+
+Result<McMetaSummary> McIndex::ReadMeta(const std::string& dir) {
+  return ReadMcMeta(dir);
+}
+
+Status McIndex::Extend(const std::string& dir, TransitionSource transitions,
+                       uint64_t new_length, McExtendStats* stats) {
+  CALDERA_ASSIGN_OR_RETURN(McMetaSummary meta, ReadMcMeta(dir));
+  const McIndexOptions& options = meta.options;
+  if (new_length < meta.stream_length) {
+    return Status::InvalidArgument("MC index extends forward only (" +
+                                   std::to_string(meta.stream_length) +
+                                   " -> " + std::to_string(new_length) + ")");
+  }
+  if (new_length == meta.stream_length) return Status::Ok();
+
+  const uint64_t num_transitions = new_length - 1;
+  const uint64_t max_span =
+      options.max_span == 0 ? num_transitions
+                            : std::min(options.max_span, num_transitions);
+
+  // Walk the levels bottom-up exactly as Build does, but only compose the
+  // newly completed blocks of each level's right spine. Level i composes
+  // from level i-1's *stored* (already truncated) entries, so the result is
+  // byte-identical to a from-scratch build.
+  std::vector<uint64_t> new_counts;
+  uint32_t level = 1;
+  uint64_t span = options.alpha;
+  std::string record;
+  Cpt entry;
+  Cpt part;
+  while (span <= max_span) {
+    const uint64_t new_count = num_transitions / span;
+    if (new_count == 0) break;
+    const uint64_t old_count =
+        level <= meta.level_counts.size() ? meta.level_counts[level - 1] : 0;
+    if (new_count > old_count) {
+      std::unique_ptr<RecordFileWriter> writer;
+      if (level <= meta.level_counts.size()) {
+        CALDERA_ASSIGN_OR_RETURN(
+            writer, RecordFileWriter::OpenForAppend(LevelPath(dir, level)));
+        if (writer->num_records() != old_count) {
+          return Status::Corruption(
+              "MC level " + std::to_string(level) + " holds " +
+              std::to_string(writer->num_records()) + " entries but meta says " +
+              std::to_string(old_count));
+        }
+      } else {
+        CALDERA_ASSIGN_OR_RETURN(
+            writer,
+            RecordFileWriter::Create(LevelPath(dir, level), options.page_size));
+        if (stats != nullptr) ++stats->levels_added;
+      }
+      // Source for compositions: raw transitions at level 1, the previous
+      // level's record file (extended and finalized on the prior iteration)
+      // above that.
+      std::unique_ptr<RecordFileReader> prev;
+      if (level > 1) {
+        CALDERA_ASSIGN_OR_RETURN(
+            prev, RecordFileReader::Open(LevelPath(dir, level - 1),
+                                         /*pool_pages=*/4));
+      }
+      for (uint64_t k = old_count; k < new_count; ++k) {
+        if (level == 1) {
+          CALDERA_RETURN_IF_ERROR(transitions(k * span + 1, &entry));
+          for (uint64_t s = 2; s <= span; ++s) {
+            CALDERA_RETURN_IF_ERROR(transitions(k * span + s, &part));
+            entry = ComposeCpts(entry, part, meta.domain);
+          }
+        } else {
+          CALDERA_RETURN_IF_ERROR(prev->Get(k * options.alpha, &record));
+          size_t offset = 0;
+          CALDERA_ASSIGN_OR_RETURN(entry, Cpt::Parse(record, &offset));
+          for (uint32_t j = 1; j < options.alpha; ++j) {
+            CALDERA_RETURN_IF_ERROR(
+                prev->Get(k * options.alpha + j, &record));
+            offset = 0;
+            CALDERA_ASSIGN_OR_RETURN(part, Cpt::Parse(record, &offset));
+            entry = ComposeCpts(entry, part, meta.domain);
+          }
+        }
+        TruncateCptRows(&entry, options.truncate_eps);
+        record.clear();
+        entry.AppendTo(&record);
+        CALDERA_RETURN_IF_ERROR(writer->Append(record).status());
+        if (stats != nullptr) ++stats->nodes_recomputed;
+      }
+      CALDERA_RETURN_IF_ERROR(writer->Finalize());
+      if (stats != nullptr) ++stats->levels_touched;
+    }
+    new_counts.push_back(new_count);
+    ++level;
+    span *= options.alpha;
+  }
+  return WriteMcMeta(dir, new_length, meta.domain, new_counts, options);
 }
 
 Result<std::unique_ptr<McIndex>> McIndex::Open(const std::string& dir,

@@ -51,6 +51,33 @@ TransitionSource ConditionSource(TransitionSource source, Matcher matcher) {
   };
 }
 
+/// What one McIndex::Extend call actually recomputed — the incremental
+/// maintenance counters the ingest tests assert on: appending B timesteps
+/// completes at most one block per level per timestep, so nodes_recomputed
+/// is bounded by B / (alpha - 1) + log_alpha(n) overall and by the level
+/// count for a single-timestep append. Entries left of the right spine are
+/// never touched.
+/// Decoded mc.meta: what the ingest path needs to plan an incremental
+/// extension (which level files will gain entries) before touching disk.
+struct McMetaSummary {
+  uint64_t stream_length = 0;
+  uint32_t domain = 0;
+  /// Entry count per stored level (level 1 first).
+  std::vector<uint64_t> level_counts;
+  /// The options the index was built with; defaults (exact, unbounded span,
+  /// default page size) for indexes that predate persisted options.
+  McIndexOptions options;
+};
+
+struct McExtendStats {
+  /// Index entries (internal product nodes) composed and appended.
+  uint64_t nodes_recomputed = 0;
+  /// Level files that gained entries.
+  uint64_t levels_touched = 0;
+  /// Brand-new level files created (the tree grew in height).
+  uint64_t levels_added = 0;
+};
+
 /// The Markov-chain index: a tree of precomputed CPT products that yields
 /// the conditional probability table relating ANY two stream timesteps in
 /// O(2 log_alpha(gap)) lookups instead of a full scan (Figure 7).
@@ -91,6 +118,28 @@ class McIndex {
   static Result<std::unique_ptr<McIndex>> Open(const std::string& dir,
                                                TransitionSource transitions,
                                                size_t pool_pages = 64);
+
+  /// Recovers the options the on-disk index was built with. Indexes built
+  /// before the options were persisted report the alpha from the metadata
+  /// and defaults for the rest (exact index, unbounded span, default page
+  /// size).
+  static Result<McIndexOptions> ReadBuildOptions(const std::string& dir);
+
+  /// Reads and decodes the on-disk metadata without opening the level files.
+  static Result<McMetaSummary> ReadMeta(const std::string& dir);
+
+  /// Incremental maintenance for the live-ingestion path: extends the index
+  /// on disk from its recorded stream length to `new_length` without
+  /// rebuilding. Because entry k of level i is the immutable product over
+  /// timesteps [k*alpha^i, (k+1)*alpha^i], growing the stream only ever
+  /// *appends* newly completed blocks along the right spine — this
+  /// recomputes exactly those entries (composing them the same way Build
+  /// does, so the resulting files are byte-identical to a full build) and
+  /// rewrites the metadata. `transitions` must serve raw CPTs up to
+  /// new_length. Open handles on the index keep serving their snapshot and
+  /// must be reopened to see the growth.
+  static Status Extend(const std::string& dir, TransitionSource transitions,
+                       uint64_t new_length, McExtendStats* stats = nullptr);
 
   /// Computes CPT(from -> to), i.e. the product of the per-step transitions
   /// into from+1 .. to. Requires from < to.

@@ -1,0 +1,525 @@
+#include "ingest/ingestor.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+
+#include "btree/btree.h"
+#include "common/encoding.h"
+#include "common/logging.h"
+#include "index/btc_index.h"
+#include "index/btp_index.h"
+#include "storage/record_file.h"
+
+namespace caldera {
+
+namespace {
+
+// WAL record types. One committed batch occupies the whole log: a batch
+// frame followed by its undo journal, dropped by Reset once applied.
+constexpr uint8_t kBatchFrame = 1;
+/// Raw physical pre-image: {path, u64 offset, bytes}.
+constexpr uint8_t kUndoRange = 2;
+/// Restore the file to this size: {path, u64 size}.
+constexpr uint8_t kUndoTruncate = 3;
+/// Whole-file pre-image (small metadata files): {path, bytes}.
+constexpr uint8_t kUndoSnapshot = 4;
+/// The file did not exist before the apply: {path}.
+constexpr uint8_t kUndoAbsent = 5;
+
+void PutPath(const std::string& rel, std::string* out) {
+  PutFixed32(static_cast<uint32_t>(rel.size()), out);
+  out->append(rel);
+}
+
+Status GetPath(std::string_view payload, size_t* offset, std::string* rel) {
+  if (payload.size() < *offset + 4) {
+    return Status::Corruption("truncated undo record path");
+  }
+  const uint32_t len = GetFixed32(payload.data() + *offset);
+  *offset += 4;
+  if (payload.size() < *offset + len) {
+    return Status::Corruption("truncated undo record path");
+  }
+  rel->assign(payload.data() + *offset, len);
+  *offset += len;
+  return Status::Ok();
+}
+
+std::string BtcFile(size_t attr) {
+  return "btc.attr" + std::to_string(attr) + ".bt";
+}
+std::string BtpFile(size_t attr) {
+  return "btp.attr" + std::to_string(attr) + ".bt";
+}
+
+/// The BT_C / BT_P files present in `dir`, discovered by name exactly like
+/// StreamArchive::RebuildIndexes does.
+Status ListTreeFiles(const std::string& dir,
+                     std::vector<std::pair<size_t, bool>>* out) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string file = entry.path().filename().string();
+    size_t attr = 0;
+    if (std::sscanf(file.c_str(), "btc.attr%zu.bt", &attr) == 1) {
+      out->emplace_back(attr, /*is_btc=*/true);
+    } else if (std::sscanf(file.c_str(), "btp.attr%zu.bt", &attr) == 1) {
+      out->emplace_back(attr, /*is_btc=*/false);
+    }
+  }
+  if (ec) return Status::IoError("cannot list " + dir + ": " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string StreamIngestor::WalPath(const std::string& dir) {
+  return dir + "/ingest.wal";
+}
+
+std::string StreamIngestor::EncodeBatch(
+    uint64_t base, const std::vector<IngestTimestep>& batch) {
+  std::string payload;
+  PutFixed64(base, &payload);
+  PutFixed32(static_cast<uint32_t>(batch.size()), &payload);
+  for (const IngestTimestep& ts : batch) {
+    ts.marginal.AppendTo(&payload);
+    ts.transition.AppendTo(&payload);
+  }
+  return payload;
+}
+
+Result<std::vector<IngestTimestep>> StreamIngestor::DecodeBatch(
+    std::string_view payload, uint64_t* base) {
+  if (payload.size() < 12) {
+    return Status::Corruption("truncated ingest batch frame");
+  }
+  *base = GetFixed64(payload.data());
+  const uint32_t count = GetFixed32(payload.data() + 8);
+  size_t offset = 12;
+  std::vector<IngestTimestep> batch(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CALDERA_ASSIGN_OR_RETURN(batch[i].marginal,
+                             Distribution::Parse(payload, &offset));
+    CALDERA_ASSIGN_OR_RETURN(batch[i].transition,
+                             Cpt::Parse(payload, &offset));
+  }
+  if (offset != payload.size()) {
+    return Status::Corruption("trailing bytes in ingest batch frame");
+  }
+  return batch;
+}
+
+Result<std::unique_ptr<StreamIngestor>> StreamIngestor::Open(
+    const std::string& dir) {
+  return Open(dir, Options());
+}
+
+Result<std::unique_ptr<StreamIngestor>> StreamIngestor::Open(
+    const std::string& dir, Options options) {
+  auto ingestor = std::unique_ptr<StreamIngestor>(
+      new StreamIngestor(dir, std::move(options)));
+  CALDERA_ASSIGN_OR_RETURN(ingestor->wal_, Wal::Open(WalPath(dir)));
+  ingestor->wal_torn_tail_ = ingestor->wal_->truncated_tail();
+  if (!ingestor->wal_->recovered().empty()) {
+    std::unique_lock<std::shared_mutex> guard;
+    if (ingestor->options_.apply_mutex != nullptr) {
+      guard = std::unique_lock<std::shared_mutex>(
+          *ingestor->options_.apply_mutex);
+    }
+    CALDERA_RETURN_IF_ERROR(ingestor->Recover());
+  }
+  CALDERA_ASSIGN_OR_RETURN(StreamMetaInfo info, ReadStreamMeta(dir));
+  ingestor->layout_ = info.layout;
+  ingestor->length_ = info.length;
+  ingestor->schema_ = std::move(info.schema);
+  // Open-and-discard the stream to validate that the record files agree
+  // with the metadata before accepting appends.
+  CALDERA_RETURN_IF_ERROR(StoredStream::Open(dir, /*pool_pages=*/4).status());
+  if (ingestor->stats_.batches_recovered > 0 &&
+      ingestor->options_.on_commit != nullptr) {
+    ingestor->options_.on_commit(ingestor->length_);
+  }
+  return ingestor;
+}
+
+Status StreamIngestor::Recover() {
+  // The log holds one committed batch (Reset drops it after a successful
+  // apply) plus however much of its undo journal reached disk. Restore the
+  // undo records newest-first — data files return bit-for-bit to their
+  // pre-batch state — then re-run the apply from the batch frame.
+  const std::vector<WalRecord>& records = wal_->recovered();
+  for (size_t i = records.size(); i > 0; --i) {
+    const WalRecord& record = records[i - 1];
+    if (record.type == kBatchFrame) continue;
+    CALDERA_RETURN_IF_ERROR(RestoreUndoRecord(record));
+  }
+
+  CALDERA_ASSIGN_OR_RETURN(StreamMetaInfo info, ReadStreamMeta(dir_));
+  layout_ = info.layout;
+  length_ = info.length;
+  schema_ = info.schema;
+
+  // The B+ trees are deliberately not undo-protected (inserts are
+  // idempotent); a torn page from the interrupted apply is repaired by
+  // rebuilding the tree from the restored stream.
+  CALDERA_RETURN_IF_ERROR(VerifyOrRebuildTrees());
+
+  for (const WalRecord& record : records) {
+    if (record.type != kBatchFrame) continue;
+    uint64_t base = 0;
+    CALDERA_ASSIGN_OR_RETURN(std::vector<IngestTimestep> batch,
+                             DecodeBatch(record.payload, &base));
+    if (base != length_) {
+      return Status::Corruption(
+          "WAL batch expects stream length " + std::to_string(base) +
+          " but " + dir_ + " has " + std::to_string(length_));
+    }
+    CALDERA_RETURN_IF_ERROR(ApplyBatch(base, batch));
+    length_ = base + batch.size();
+    ++stats_.batches_recovered;
+    stats_.timesteps_appended += batch.size();
+  }
+  return wal_->Reset();
+}
+
+Status StreamIngestor::RestoreUndoRecord(const WalRecord& record) {
+  std::string rel;
+  size_t offset = 0;
+  CALDERA_RETURN_IF_ERROR(GetPath(record.payload, &offset, &rel));
+  const std::string abs = dir_ + "/" + rel;
+  switch (record.type) {
+    case kUndoRange: {
+      if (record.payload.size() < offset + 8) {
+        return Status::Corruption("truncated undo range record");
+      }
+      const uint64_t at = GetFixed64(record.payload.data() + offset);
+      offset += 8;
+      CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                               File::OpenOrCreate(abs));
+      CALDERA_RETURN_IF_ERROR(f->WriteAt(
+          at, std::string_view(record.payload).substr(offset)));
+      return f->Sync();
+    }
+    case kUndoTruncate: {
+      if (record.payload.size() < offset + 8) {
+        return Status::Corruption("truncated undo truncate record");
+      }
+      const uint64_t size = GetFixed64(record.payload.data() + offset);
+      CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                               File::OpenOrCreate(abs));
+      CALDERA_RETURN_IF_ERROR(f->Truncate(size));
+      return f->Sync();
+    }
+    case kUndoSnapshot: {
+      CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                               File::OpenOrCreate(abs));
+      CALDERA_RETURN_IF_ERROR(f->Truncate(0));
+      CALDERA_RETURN_IF_ERROR(f->WriteAt(
+          0, std::string_view(record.payload).substr(offset)));
+      return f->Sync();
+    }
+    case kUndoAbsent:
+      return RemoveFileIfExists(abs);
+    default:
+      return Status::Corruption("unknown WAL record type " +
+                                std::to_string(record.type));
+  }
+}
+
+Status StreamIngestor::VerifyOrRebuildTrees() {
+  std::vector<std::pair<size_t, bool>> trees;
+  CALDERA_RETURN_IF_ERROR(ListTreeFiles(dir_, &trees));
+  std::unique_ptr<StoredStream> stored;  // Opened on first rebuild.
+  for (const auto& [attr, is_btc] : trees) {
+    const std::string path =
+        dir_ + "/" + (is_btc ? BtcFile(attr) : BtpFile(attr));
+    bool healthy = false;
+    {
+      Result<std::unique_ptr<BTree>> tree = BTree::Open(path);
+      Status invariants =
+          tree.ok() ? (*tree)->CheckInvariants() : tree.status();
+      if (invariants.ok()) {
+        healthy = true;
+      } else {
+        CALDERA_LOG_WARNING << "rebuilding " << path
+                            << " after interrupted ingest: "
+                            << invariants.ToString();
+      }
+    }
+    if (healthy) continue;
+    if (stored == nullptr) {
+      CALDERA_ASSIGN_OR_RETURN(stored, StoredStream::Open(dir_));
+    }
+    CALDERA_RETURN_IF_ERROR(RemoveFileIfExists(path));
+    if (is_btc) {
+      CALDERA_RETURN_IF_ERROR(
+          BuildBtcIndexFromStored(stored.get(), attr, path).status());
+    } else {
+      CALDERA_RETURN_IF_ERROR(
+          BuildBtpIndexFromStored(stored.get(), attr, path).status());
+    }
+  }
+  return Status::Ok();
+}
+
+Status StreamIngestor::JournalRange(const File& file, const std::string& rel,
+                                    uint64_t offset, uint64_t len) {
+  std::string payload;
+  PutPath(rel, &payload);
+  PutFixed64(offset, &payload);
+  const size_t head = payload.size();
+  payload.resize(head + len);
+  CALDERA_RETURN_IF_ERROR(file.ReadAt(offset, len, payload.data() + head));
+  return wal_->Append(kUndoRange, payload).status();
+}
+
+Status StreamIngestor::JournalTruncate(const std::string& rel,
+                                       uint64_t size) {
+  std::string payload;
+  PutPath(rel, &payload);
+  PutFixed64(size, &payload);
+  return wal_->Append(kUndoTruncate, payload).status();
+}
+
+Status StreamIngestor::JournalSnapshot(const std::string& rel) {
+  const std::string abs = dir_ + "/" + rel;
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f, File::OpenReadOnly(abs));
+  std::string payload;
+  PutPath(rel, &payload);
+  const size_t head = payload.size();
+  const uint64_t size = f->size();
+  payload.resize(head + size);
+  CALDERA_RETURN_IF_ERROR(f->ReadAt(0, size, payload.data() + head));
+  return wal_->Append(kUndoSnapshot, payload).status();
+}
+
+Status StreamIngestor::JournalAbsent(const std::string& rel) {
+  std::string payload;
+  PutPath(rel, &payload);
+  return wal_->Append(kUndoAbsent, payload).status();
+}
+
+Status StreamIngestor::JournalRecordFileUndo(const std::string& rel) {
+  const std::string abs = dir_ + "/" + rel;
+  uint32_t payload_size = 0;
+  uint64_t pages = 0;
+  uint64_t data_bytes = 0;
+  {
+    CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<RecordFileReader> reader,
+                             RecordFileReader::Open(abs, /*pool_pages=*/2));
+    payload_size = reader->page_size();
+    pages = reader->file_pages();
+    data_bytes = reader->data_bytes();
+  }
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f, File::OpenReadOnly(abs));
+  const uint64_t size = f->size();
+  if (pages == 0 || size % pages != 0) {
+    return Status::Corruption("ragged pager file " + abs);
+  }
+  const uint64_t stride = size / pages;  // Physical page size.
+  // The append rewrites the pager header (page count), the record-file meta
+  // page, the zero padding of the partial tail data page, and everything
+  // after it (the old directory, overwritten by new data). Bytes of
+  // complete data pages before the tail are never touched.
+  CALDERA_RETURN_IF_ERROR(JournalRange(*f, rel, 0, 2 * stride));
+  const uint64_t dirty_from =
+      (kRecordFileFirstDataPage + data_bytes / payload_size) * stride;
+  if (dirty_from < size) {
+    CALDERA_RETURN_IF_ERROR(JournalRange(*f, rel, dirty_from,
+                                         size - dirty_from));
+  }
+  return JournalTruncate(rel, size);
+}
+
+Status StreamIngestor::JournalMcUndo(uint64_t new_length) {
+  const std::string mc_dir = dir_ + "/mc";
+  if (!FileExists(mc_dir + "/mc.meta")) return Status::Ok();
+  CALDERA_ASSIGN_OR_RETURN(McMetaSummary meta, McIndex::ReadMeta(mc_dir));
+  CALDERA_RETURN_IF_ERROR(JournalSnapshot("mc/mc.meta"));
+  // Mirror McIndex::Extend's level walk to journal exactly the level files
+  // that will gain right-spine entries.
+  const uint64_t num_transitions = new_length - 1;
+  const uint64_t max_span =
+      meta.options.max_span == 0
+          ? num_transitions
+          : std::min(meta.options.max_span, num_transitions);
+  uint32_t level = 1;
+  uint64_t span = meta.options.alpha;
+  while (span <= max_span) {
+    const uint64_t new_count = num_transitions / span;
+    if (new_count == 0) break;
+    const uint64_t old_count =
+        level <= meta.level_counts.size() ? meta.level_counts[level - 1] : 0;
+    if (new_count > old_count) {
+      const std::string rel = "mc/L" + std::to_string(level) + ".rec";
+      if (level <= meta.level_counts.size()) {
+        CALDERA_RETURN_IF_ERROR(JournalRecordFileUndo(rel));
+      } else {
+        CALDERA_RETURN_IF_ERROR(JournalAbsent(rel));
+      }
+    }
+    ++level;
+    span *= meta.options.alpha;
+  }
+  return Status::Ok();
+}
+
+Status StreamIngestor::CommitToWal(const std::vector<IngestTimestep>& batch) {
+  const Wal::Mark mark = wal_->mark();
+  Status committed = [&]() -> Status {
+    CALDERA_RETURN_IF_ERROR(
+        wal_->Append(kBatchFrame, EncodeBatch(length_, batch)).status());
+    // Undo journal: captured before any mutation, so a crash at any later
+    // point finds a complete journal behind the batch frame.
+    CALDERA_RETURN_IF_ERROR(JournalSnapshot("meta.bin"));
+    if (layout_ == DiskLayout::kSeparated) {
+      CALDERA_RETURN_IF_ERROR(JournalRecordFileUndo("marginals.rec"));
+      CALDERA_RETURN_IF_ERROR(JournalRecordFileUndo("cpts.rec"));
+    } else {
+      CALDERA_RETURN_IF_ERROR(JournalRecordFileUndo("stream.rec"));
+    }
+    CALDERA_RETURN_IF_ERROR(JournalMcUndo(length_ + batch.size()));
+    return wal_->Sync();
+  }();
+  if (!committed.ok()) {
+    // Not committed: unwind the speculative frames so the log never
+    // presents an unacknowledged batch. If even that fails, poison the
+    // handle — the open-time scan will discard the tail.
+    Status rolled_back = wal_->RollbackTo(mark);
+    if (!rolled_back.ok()) {
+      broken_ = true;
+      CALDERA_LOG_WARNING << "WAL rollback failed after " << committed.ToString()
+                          << ": " << rolled_back.ToString();
+    }
+    return committed;
+  }
+  stats_.wal_bytes += wal_->size_bytes() - mark.size;
+  return Status::Ok();
+}
+
+Status StreamIngestor::ApplyBatch(uint64_t base,
+                                  const std::vector<IngestTimestep>& batch) {
+  const uint64_t new_length = base + batch.size();
+  std::string record;
+
+  // 1. Stream record files.
+  auto append_records =
+      [&](const std::string& path,
+          const std::function<void(const IngestTimestep&, std::string*)>&
+              serialize) -> Status {
+    CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<RecordFileWriter> writer,
+                             RecordFileWriter::OpenForAppend(path));
+    if (writer->num_records() != base) {
+      return Status::Corruption(path + " holds " +
+                                std::to_string(writer->num_records()) +
+                                " records, expected " + std::to_string(base));
+    }
+    for (const IngestTimestep& ts : batch) {
+      record.clear();
+      serialize(ts, &record);
+      CALDERA_RETURN_IF_ERROR(writer->Append(record).status());
+    }
+    return writer->Finalize();
+  };
+  if (layout_ == DiskLayout::kSeparated) {
+    CALDERA_RETURN_IF_ERROR(append_records(
+        StreamMarginalsPath(dir_),
+        [](const IngestTimestep& ts, std::string* out) {
+          ts.marginal.AppendTo(out);
+        }));
+    CALDERA_RETURN_IF_ERROR(append_records(
+        StreamCptsPath(dir_), [](const IngestTimestep& ts, std::string* out) {
+          ts.transition.AppendTo(out);
+        }));
+  } else {
+    CALDERA_RETURN_IF_ERROR(append_records(
+        StreamCombinedPath(dir_),
+        [](const IngestTimestep& ts, std::string* out) {
+          ts.marginal.AppendTo(out);
+          ts.transition.AppendTo(out);
+        }));
+  }
+
+  // 2. Stream metadata.
+  CALDERA_RETURN_IF_ERROR(UpdateStreamLength(dir_, new_length));
+
+  // 3. Secondary B+ tree indexes.
+  std::vector<std::pair<size_t, bool>> trees;
+  CALDERA_RETURN_IF_ERROR(ListTreeFiles(dir_, &trees));
+  for (const auto& [attr, is_btc] : trees) {
+    const std::string path =
+        dir_ + "/" + (is_btc ? BtcFile(attr) : BtpFile(attr));
+    CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree, BTree::Open(path));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (is_btc) {
+        CALDERA_RETURN_IF_ERROR(InsertBtcTimestep(
+            tree.get(), batch[i].marginal, schema_, attr, base + i));
+      } else {
+        CALDERA_RETURN_IF_ERROR(InsertBtpTimestep(
+            tree.get(), batch[i].marginal, schema_, attr, base + i));
+      }
+      ++stats_.btree_inserts;
+    }
+    CALDERA_RETURN_IF_ERROR(tree->Sync());
+  }
+
+  // 4. MC index: extend along the right spine, composing from the freshly
+  // finalized stream files.
+  if (FileExists(dir_ + "/mc/mc.meta")) {
+    CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<StoredStream> stored,
+                             StoredStream::Open(dir_));
+    StoredStream* raw = stored.get();
+    McExtendStats extend_stats;
+    CALDERA_RETURN_IF_ERROR(McIndex::Extend(
+        dir_ + "/mc",
+        [raw](uint64_t t, Cpt* out) { return raw->ReadTransition(t, out); },
+        new_length, &extend_stats));
+    stats_.mc.nodes_recomputed += extend_stats.nodes_recomputed;
+    stats_.mc.levels_touched += extend_stats.levels_touched;
+    stats_.mc.levels_added += extend_stats.levels_added;
+  }
+  return Status::Ok();
+}
+
+Status StreamIngestor::Append(const std::vector<IngestTimestep>& batch) {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "ingestor for " + dir_ +
+        " is poisoned by an earlier failure; reopen to recover");
+  }
+  if (batch.empty()) return Status::Ok();
+  CALDERA_RETURN_IF_ERROR(CommitToWal(batch));
+
+  // Committed: from here the batch is applied either below or by the next
+  // Open's recovery.
+  std::unique_lock<std::shared_mutex> guard;
+  if (options_.apply_mutex != nullptr) {
+    guard = std::unique_lock<std::shared_mutex>(*options_.apply_mutex);
+  }
+  Status applied = ApplyBatch(length_, batch);
+  if (applied.ok()) applied = wal_->Reset();
+  if (!applied.ok()) {
+    broken_ = true;
+    return applied;
+  }
+  length_ += batch.size();
+  ++stats_.batches_committed;
+  stats_.timesteps_appended += batch.size();
+  if (options_.on_commit != nullptr) options_.on_commit(length_);
+  return Status::Ok();
+}
+
+Status StreamIngestor::CommitWithoutApply(
+    const std::vector<IngestTimestep>& batch) {
+  if (broken_) {
+    return Status::FailedPrecondition("ingestor for " + dir_ +
+                                      " is poisoned; reopen to recover");
+  }
+  if (batch.empty()) return Status::Ok();
+  CALDERA_RETURN_IF_ERROR(CommitToWal(batch));
+  broken_ = true;  // The batch is durable but unapplied: exactly a crash.
+  return Status::Ok();
+}
+
+}  // namespace caldera

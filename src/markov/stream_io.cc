@@ -13,6 +13,51 @@ constexpr const char* kCptsFile = "cpts.rec";
 constexpr const char* kCombinedFile = "stream.rec";
 }  // namespace
 
+std::string StreamMetaPath(const std::string& dir) {
+  return dir + "/" + kMetaFile;
+}
+std::string StreamMarginalsPath(const std::string& dir) {
+  return dir + "/" + kMarginalsFile;
+}
+std::string StreamCptsPath(const std::string& dir) {
+  return dir + "/" + kCptsFile;
+}
+std::string StreamCombinedPath(const std::string& dir) {
+  return dir + "/" + kCombinedFile;
+}
+
+Result<StreamMetaInfo> ReadStreamMeta(const std::string& dir) {
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> meta_file,
+                           File::OpenReadOnly(StreamMetaPath(dir)));
+  std::string meta(meta_file->size(), '\0');
+  CALDERA_RETURN_IF_ERROR(meta_file->ReadAt(0, meta.size(), meta.data()));
+  if (meta.size() < 17 || meta.compare(0, 8, kMetaMagic, 8) != 0) {
+    return Status::Corruption("bad stream metadata in " + dir);
+  }
+  StreamMetaInfo info;
+  info.layout = static_cast<DiskLayout>(meta[8]);
+  if (info.layout != DiskLayout::kSeparated &&
+      info.layout != DiskLayout::kCoClustered) {
+    return Status::Corruption("bad layout byte in " + dir);
+  }
+  info.length = GetFixed64(meta.data() + 9);
+  size_t offset = 17;
+  CALDERA_ASSIGN_OR_RETURN(info.schema, StreamSchema::Parse(meta, &offset));
+  return info;
+}
+
+Status UpdateStreamLength(const std::string& dir, uint64_t new_length) {
+  // Validate before patching so a stray call cannot stamp a length into an
+  // arbitrary file.
+  CALDERA_RETURN_IF_ERROR(ReadStreamMeta(dir).status());
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<File> f,
+                           File::Open(StreamMetaPath(dir)));
+  std::string field;
+  PutFixed64(new_length, &field);
+  CALDERA_RETURN_IF_ERROR(f->WriteAt(9, field));
+  return f->Sync();
+}
+
 const char* DiskLayoutName(DiskLayout layout) {
   switch (layout) {
     case DiskLayout::kSeparated:

@@ -31,6 +31,28 @@ Status WriteStream(const std::string& dir, const MarkovianStream& stream,
                    DiskLayout layout = DiskLayout::kSeparated,
                    uint32_t page_size = kDefaultPageSize);
 
+/// File names inside a stream directory — shared with the ingest/WAL
+/// machinery, which journals pre-images of these files before mutating
+/// them.
+std::string StreamMetaPath(const std::string& dir);
+std::string StreamMarginalsPath(const std::string& dir);
+std::string StreamCptsPath(const std::string& dir);
+std::string StreamCombinedPath(const std::string& dir);
+
+/// The decoded header of dir/meta.bin. Unlike StoredStream::Open this does
+/// not open or validate the data files, so it works mid-recovery when the
+/// record files are still being repaired.
+struct StreamMetaInfo {
+  DiskLayout layout = DiskLayout::kSeparated;
+  uint64_t length = 0;
+  StreamSchema schema;
+};
+Result<StreamMetaInfo> ReadStreamMeta(const std::string& dir);
+
+/// Rewrites the length field of dir/meta.bin in place and syncs (the
+/// live-ingestion commit path; layout and schema are untouched).
+Status UpdateStreamLength(const std::string& dir, uint64_t new_length);
+
 /// Read-only handle to an archived Markovian stream. All reads go through
 /// per-file LRU buffer pools; IoStats() aggregates their counters so access
 /// methods can report page traffic.

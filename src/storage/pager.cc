@@ -106,14 +106,18 @@ Status Pager::WriteHeader() {
   PutFixed32(page_size_, &header);
   PutFixed64(page_count_, &header);
   if (version_ < 2) {
-    return file_->WriteAt(0, header);
+    CALDERA_RETURN_IF_ERROR(file_->WriteAt(0, header));
+    header_dirty_ = false;
+    return Status::Ok();
   }
   // v2: the header page is checksummed like any other page — build the full
   // physical image (header fields, zero padding, trailer) and write it.
   std::memset(scratch_.data(), 0, page_size_);
   std::memcpy(scratch_.data(), header.data(), header.size());
   StampPage(scratch_.data(), 0);
-  return file_->WriteAt(0, {scratch_.data(), page_size_});
+  CALDERA_RETURN_IF_ERROR(file_->WriteAt(0, {scratch_.data(), page_size_}));
+  header_dirty_ = false;
+  return Status::Ok();
 }
 
 Status Pager::ReadPage(PageId id, char* buf) const {
@@ -156,11 +160,23 @@ Result<PageId> Pager::AllocatePage() {
         file_->WriteAt(id * page_size_, {scratch_.data(), page_size_}));
   }
   ++page_count_;
+  header_dirty_ = true;
   return id;
 }
 
+Status Pager::Truncate(uint64_t new_page_count) {
+  if (new_page_count == 0 || new_page_count > page_count_) {
+    return Status::InvalidArgument("cannot truncate to " +
+                                   std::to_string(new_page_count) + " pages");
+  }
+  CALDERA_RETURN_IF_ERROR(
+      file_->Truncate(new_page_count * uint64_t{page_size_}));
+  page_count_ = new_page_count;
+  return WriteHeader();
+}
+
 Status Pager::Sync() {
-  CALDERA_RETURN_IF_ERROR(WriteHeader());
+  if (header_dirty_) CALDERA_RETURN_IF_ERROR(WriteHeader());
   return file_->Sync();
 }
 

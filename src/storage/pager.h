@@ -63,7 +63,16 @@ class Pager {
   /// Allocates a fresh zeroed page at the end of the file.
   Result<PageId> AllocatePage();
 
-  /// Persists the header and fsyncs the file.
+  /// Shrinks the file to `new_page_count` pages (header included), releasing
+  /// every page at or beyond the new count. Used by the ingest path to
+  /// reopen a finalized record file for appending: the old directory pages
+  /// are dropped and re-grown after the new data. Growing is not supported —
+  /// use AllocatePage.
+  Status Truncate(uint64_t new_page_count);
+
+  /// Persists the header (only if this handle changed it — a handle that
+  /// never allocated must not clobber a header another writer has since
+  /// advanced) and fsyncs the file.
   Status Sync();
 
   /// Usable bytes per page (physical page minus the v2 trailer).
@@ -90,6 +99,12 @@ class Pager {
   uint32_t payload_size_;  // page_size_ minus the v2 trailer.
   uint64_t page_count_;
   uint32_t version_;
+  // True while the in-memory page_count_ is ahead of the on-disk header
+  // (pages allocated since the last WriteHeader). Sync persists the header
+  // only then: read-only consumers (buffer pools flush-syncing on
+  // destruction) must never write their — possibly stale — view of the
+  // header back over a file a live-ingest append has since extended.
+  bool header_dirty_ = false;
   // Physical-page staging buffer for v2 reads/writes; mutable because
   // ReadPage is logically const. Pagers are single-threaded by design (one
   // per stream partition), so a single scratch buffer is safe.

@@ -11,7 +11,7 @@ namespace caldera {
 namespace {
 constexpr char kRecMagic[8] = {'C', 'L', 'D', 'R', 'R', 'E', 'C', '1'};
 constexpr PageId kMetaPage = 1;
-constexpr PageId kFirstDataPage = 2;
+constexpr PageId kFirstDataPage = kRecordFileFirstDataPage;
 }  // namespace
 
 RecordFileWriter::RecordFileWriter(std::unique_ptr<Pager> pager)
@@ -28,6 +28,47 @@ Result<std::unique_ptr<RecordFileWriter>> RecordFileWriter::Create(
   }
   return std::unique_ptr<RecordFileWriter>(
       new RecordFileWriter(std::move(pager)));
+}
+
+Result<std::unique_ptr<RecordFileWriter>> RecordFileWriter::OpenForAppend(
+    const std::string& path) {
+  // Reuse the reader's (checksum-verified) meta + directory parsing, then
+  // rewind the pager past the directory so appends continue where the data
+  // ends.
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<RecordFileReader> reader,
+                           RecordFileReader::Open(path, /*pool_pages=*/4));
+  std::vector<uint64_t> offsets;
+  offsets.reserve(reader->num_records());
+  uint64_t off = 0;
+  for (uint64_t id = 0; id < reader->num_records(); ++id) {
+    offsets.push_back(off);
+    CALDERA_ASSIGN_OR_RETURN(uint64_t size, reader->RecordSize(id));
+    off += size;
+  }
+  const uint64_t data_bytes = reader->data_bytes();
+  reader.reset();  // Release the read handle before reopening to write.
+
+  CALDERA_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::Open(path));
+  const uint32_t page_size = pager->page_size();
+  auto writer =
+      std::unique_ptr<RecordFileWriter>(new RecordFileWriter(std::move(pager)));
+  writer->offsets_ = std::move(offsets);
+  writer->data_bytes_ = data_bytes;
+
+  // Reload the partial tail (record bytes past the last full page) into the
+  // in-memory staging buffer, then drop that page and everything after it
+  // (the directory): the next full page rewrites the tail in place.
+  const uint64_t full_pages = data_bytes / page_size;
+  const uint64_t tail_bytes = data_bytes % page_size;
+  if (tail_bytes > 0) {
+    std::vector<char> page(page_size);
+    CALDERA_RETURN_IF_ERROR(
+        writer->pager_->ReadPage(kFirstDataPage + full_pages, page.data()));
+    writer->partial_.assign(page.data(), tail_bytes);
+  }
+  CALDERA_RETURN_IF_ERROR(
+      writer->pager_->Truncate(kFirstDataPage + full_pages));
+  return writer;
 }
 
 Status RecordFileWriter::AppendRaw(std::string_view bytes) {

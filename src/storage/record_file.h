@@ -24,12 +24,28 @@ namespace caldera {
 //   pages 2..d-1: record bytes, packed back-to-back across pages
 //   pages d.. : directory = (n+1) u64 byte offsets delimiting records
 
+/// Page index of the first data page (pages 0 and 1 hold the pager header
+/// and the record-file meta). Exposed for the ingest WAL, which journals
+/// pre-images of the pages an append will overwrite.
+inline constexpr PageId kRecordFileFirstDataPage = 2;
+
 /// Sequentially builds a record file. Records become visible to readers only
 /// after Finalize() succeeds.
 class RecordFileWriter {
  public:
   static Result<std::unique_ptr<RecordFileWriter>> Create(
       const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  /// Reopens a *finalized* record file so more records can be appended (the
+  /// live-ingestion path). The old directory pages are dropped — new data
+  /// grows from the end of the existing records and Finalize writes a fresh
+  /// directory + meta. Readers opened before the next Finalize keep serving
+  /// their snapshot: old record bytes are never moved or modified, only the
+  /// zero padding of the final partial page and the (reader-cached)
+  /// directory region are overwritten. NOT crash-atomic on its own — the
+  /// ingest WAL journals the overwritten pages first.
+  static Result<std::unique_ptr<RecordFileWriter>> OpenForAppend(
+      const std::string& path);
 
   /// Appends a record; returns its id.
   Result<uint64_t> Append(std::string_view record);
@@ -38,6 +54,8 @@ class RecordFileWriter {
   Status Finalize();
 
   uint64_t num_records() const { return offsets_.size(); }
+  uint64_t data_bytes() const { return data_bytes_; }
+  uint32_t page_size() const { return pager_->page_size(); }
 
  private:
   explicit RecordFileWriter(std::unique_ptr<Pager> pager);

@@ -1,0 +1,202 @@
+// Unit tests for the ingest write-ahead log: frame roundtrips, torn-tail
+// truncation, sequence-chain validation, rollback, and fault injection on
+// the log file itself.
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/fault_injection_file.h"
+#include "test_util.h"
+
+namespace caldera {
+namespace {
+
+TEST(WalTest, AppendSyncReopenRoundtrip) {
+  test::ScratchDir scratch("wal_roundtrip");
+  const std::string path = scratch.Path("ingest.wal");
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_TRUE((*wal)->recovered().empty());
+    EXPECT_FALSE((*wal)->truncated_tail());
+    auto s1 = (*wal)->Append(1, "hello");
+    auto s2 = (*wal)->Append(2, std::string(3000, 'x'));
+    auto s3 = (*wal)->Append(7, "");  // Empty payloads are legal.
+    ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+    EXPECT_EQ(*s1, 1u);
+    EXPECT_EQ(*s2, 2u);
+    EXPECT_EQ(*s3, 3u);
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_FALSE((*wal)->truncated_tail());
+  const auto& records = (*wal)->recovered();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, 1);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[0].payload, "hello");
+  EXPECT_EQ(records[1].payload.size(), 3000u);
+  EXPECT_EQ(records[2].type, 7);
+  EXPECT_EQ(records[2].payload, "");
+  // Sequence numbering continues where the scan left off.
+  EXPECT_EQ((*wal)->next_seq(), 4u);
+}
+
+TEST(WalTest, TornTailIsTruncated) {
+  test::ScratchDir scratch("wal_torn");
+  const std::string path = scratch.Path("ingest.wal");
+  uint64_t good_size = 0;
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "first").ok());
+    ASSERT_TRUE((*wal)->Append(1, "second").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+    good_size = (*wal)->size_bytes();
+    // A frame whose tail never reached disk: append then chop mid-payload.
+    ASSERT_TRUE((*wal)->Append(1, "torn-away-payload").ok());
+  }
+  {
+    auto f = File::Open(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Truncate(good_size + 9).ok());
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE((*wal)->truncated_tail());
+  ASSERT_EQ((*wal)->recovered().size(), 2u);
+  EXPECT_EQ((*wal)->recovered()[1].payload, "second");
+  EXPECT_EQ((*wal)->size_bytes(), good_size);
+  // The log is writable again and reopens cleanly.
+  ASSERT_TRUE((*wal)->Append(1, "third").ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  auto again = Wal::Open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE((*again)->truncated_tail());
+  ASSERT_EQ((*again)->recovered().size(), 3u);
+}
+
+TEST(WalTest, CorruptMiddleFrameDropsItAndEverythingAfter) {
+  test::ScratchDir scratch("wal_corrupt");
+  const std::string path = scratch.Path("ingest.wal");
+  uint64_t first_frame_end = 0;
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "aaaa").ok());
+    first_frame_end = (*wal)->size_bytes();
+    ASSERT_TRUE((*wal)->Append(1, "bbbb").ok());
+    ASSERT_TRUE((*wal)->Append(1, "cccc").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  {
+    // Flip one payload byte of the middle frame.
+    auto f = File::Open(path);
+    ASSERT_TRUE(f.ok());
+    char byte = 0;
+    const uint64_t at = first_frame_end + 17;  // Frame header is 17 bytes.
+    ASSERT_TRUE((*f)->ReadAt(at, 1, &byte).ok());
+    byte ^= 0x40;
+    ASSERT_TRUE((*f)->WriteAt(at, std::string_view(&byte, 1)).ok());
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE((*wal)->truncated_tail());
+  ASSERT_EQ((*wal)->recovered().size(), 1u);
+  EXPECT_EQ((*wal)->recovered()[0].payload, "aaaa");
+}
+
+TEST(WalTest, ResetEmptiesTheLogAndRestartsSequencing) {
+  test::ScratchDir scratch("wal_reset");
+  const std::string path = scratch.Path("ingest.wal");
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, "payload").ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ((*wal)->next_seq(), 1u);
+  ASSERT_TRUE((*wal)->Append(1, "fresh").ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  auto reopened = Wal::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ((*reopened)->recovered().size(), 1u);
+  EXPECT_EQ((*reopened)->recovered()[0].payload, "fresh");
+  EXPECT_EQ((*reopened)->recovered()[0].seq, 1u);
+}
+
+TEST(WalTest, RollbackUndoesSpeculativeAppends) {
+  test::ScratchDir scratch("wal_rollback");
+  const std::string path = scratch.Path("ingest.wal");
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, "keep").ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  const Wal::Mark mark = (*wal)->mark();
+  ASSERT_TRUE((*wal)->Append(1, "discard-1").ok());
+  ASSERT_TRUE((*wal)->Append(1, "discard-2").ok());
+  ASSERT_TRUE((*wal)->RollbackTo(mark).ok());
+  EXPECT_EQ((*wal)->size_bytes(), mark.size);
+  // The rolled-back sequence numbers are reused, keeping the chain intact.
+  auto seq = (*wal)->Append(1, "replacement");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 2u);
+  ASSERT_TRUE((*wal)->Sync().ok());
+  auto reopened = Wal::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ((*reopened)->recovered().size(), 2u);
+  EXPECT_EQ((*reopened)->recovered()[1].payload, "replacement");
+}
+
+TEST(WalTest, FailedSyncSurfacesAsError) {
+  test::ScratchDir scratch("wal_failsync");
+  FaultInjectionOptions options;
+  options.fail_sync = true;
+  ScopedFaultInjection inject("ingest.wal", options);
+  auto wal = Wal::Open(scratch.Path("ingest.wal"));
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, "doomed").ok());
+  EXPECT_FALSE((*wal)->Sync().ok());
+}
+
+TEST(WalTest, TornWriteOfAFrameIsInvisibleAfterReopen) {
+  test::ScratchDir scratch("wal_tornwrite");
+  const std::string path = scratch.Path("ingest.wal");
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "durable").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  {
+    // The next writer's first frame write tears mid-way.
+    FaultInjectionOptions options;
+    options.fail_writes_from = 0;
+    options.torn_writes = true;
+    ScopedFaultInjection inject("ingest.wal", options);
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_FALSE((*wal)->Append(1, "never-acknowledged").ok());
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ((*wal)->recovered().size(), 1u);
+  EXPECT_EQ((*wal)->recovered()[0].payload, "durable");
+}
+
+TEST(WalTest, BadMagicIsCorruption) {
+  test::ScratchDir scratch("wal_magic");
+  const std::string path = scratch.Path("ingest.wal");
+  {
+    auto f = File::OpenOrCreate(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->WriteAt(0, "NOTAWAL0xxxx").ok());
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace caldera
